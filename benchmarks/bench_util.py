@@ -1,0 +1,37 @@
+"""Shared reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures and prints the
+same rows/series the paper reports, next to the paper's own numbers where
+the paper states them.  Absolute values are not expected to match (our
+substrate is a simulator, not the authors' testbed); the *shape* — who
+wins, by roughly what factor, where the crossovers fall — is the claim
+each benchmark checks.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print an aligned results table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,46 @@
+"""Sec. II-A claim — NIOM accuracy of 70-90% "for a range of homes".
+
+Prior work (refs. [1], [14]) reports occupancy-detection accuracies of
+70-90% across a range of homes.  This benchmark runs the NIOM detector
+ensemble over a population of randomized households and checks that the
+best-attack accuracy distribution lands in that band — the quantitative
+backing for the paper's statement about how much occupancy information a
+smart meter leaks.
+"""
+
+import numpy as np
+
+from bench_util import once, print_table
+from repro.core import occupancy_privacy
+from repro.datasets import population_dataset
+
+
+def test_niom_accuracy_band(benchmark):
+    homes = population_dataset(n_homes=10, n_days=10)
+
+    def experiment():
+        results = []
+        for sim in homes:
+            score = occupancy_privacy(sim.metered, sim.occupancy)
+            results.append(
+                (
+                    sim.config.name,
+                    score.worst_case_accuracy,
+                    score.worst_case_mcc,
+                    sim.occupancy.fraction_true(),
+                )
+            )
+        return results
+
+    results = once(benchmark, experiment)
+    rows = [[n, a, m, f] for n, a, m, f in results]
+    accs = np.asarray([r[1] for r in rows])
+    rows.append(["MEAN", float(accs.mean()), float(np.mean([r[2] for r in rows[:-1]])), ""])
+    print_table(
+        "Sec. II-A — NIOM accuracy across a population "
+        "(paper: 70-90% for a range of homes)",
+        ["home", "best_accuracy", "best_mcc", "occupied_frac"],
+        rows,
+    )
+    assert 0.70 <= accs.mean() <= 0.92, f"mean accuracy {accs.mean():.3f} out of band"
+    assert (accs > 0.6).all(), "every home should leak substantial occupancy"

@@ -1,0 +1,77 @@
+"""Sec. III-E — the tunable privacy knob and the discrete-defense frontier.
+
+The paper argues existing defenses "lie at different discrete points in
+the tradeoff between user privacy and IoT functionality", motivating a
+tunable knob.  This benchmark places every registered discrete defense in
+the (privacy, utility) plane and sweeps the knob across it, checking that
+the knob traces a monotone frontier from full-utility/no-privacy to
+strong-privacy/degraded-utility.
+"""
+
+import numpy as np
+
+from bench_util import once, print_table
+from repro.core import PrivacyKnob, run_pipeline, sweep_knob
+from repro.home import home_b, simulate_home
+
+
+def test_privacy_utility_frontier(benchmark):
+    sim = simulate_home(home_b(), 7, rng=31)
+
+    def experiment():
+        pipeline = run_pipeline(sim, rng=32)
+        knob_points = sweep_knob(
+            PrivacyKnob(),
+            sim.metered,
+            sim.occupancy,
+            settings=np.linspace(0.0, 1.0, 6),
+            rng=33,
+        )
+        return pipeline, knob_points
+
+    pipeline, knob_points = once(benchmark, experiment)
+
+    rows = [
+        [
+            "baseline",
+            pipeline.baseline.privacy.worst_case_mcc,
+            pipeline.baseline.utility.composite(),
+            0.0,
+        ]
+    ]
+    for name, point in sorted(pipeline.defenses.items()):
+        rows.append(
+            [
+                name,
+                point.privacy.worst_case_mcc,
+                point.utility.composite(),
+                point.extra_energy_kwh,
+            ]
+        )
+    for point in knob_points:
+        rows.append(
+            [
+                point.defense,
+                point.privacy.worst_case_mcc,
+                point.utility.composite(),
+                point.extra_energy_kwh,
+            ]
+        )
+    print_table(
+        "Sec. III-E — privacy/utility/cost positions (lower MCC = more "
+        "privacy; paper: defenses sit at discrete points, knob makes the "
+        "tradeoff tunable)",
+        ["defense", "attack_mcc", "utility", "extra_kwh"],
+        rows,
+    )
+
+    knob_mcc = [p.privacy.worst_case_mcc for p in knob_points]
+    knob_util = [p.utility.composite() for p in knob_points]
+    # the knob's endpoints bracket the tradeoff
+    assert knob_mcc[-1] < 0.65 * knob_mcc[0]
+    assert knob_util[-1] < knob_util[0]
+    # broadly monotone: late settings dominate early ones on privacy
+    assert np.mean(knob_mcc[3:]) < np.mean(knob_mcc[:3])
+    # at least one discrete defense achieves strong privacy at low utility
+    strong = [p for p in pipeline.defenses.values() if p.privacy.worst_case_mcc < 0.3]
+    assert strong, "some discrete defense should reach strong privacy"

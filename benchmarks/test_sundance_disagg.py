@@ -1,0 +1,81 @@
+"""Sec. II-B claim — SunDance: net meters do not hide solar homes.
+
+"Our recent work on solar disaggregation shows that we can accurately
+separate net meter data into energy consumption and solar generation."
+The benchmark builds a solar home's net-meter trace, disaggregates it
+black-box, and shows the chained privacy attack the paper warns about: the
+recovered *consumption* is nearly as good for occupancy detection as the
+true consumption, and the recovered *generation* still localizes the home
+via its weather signature.
+"""
+
+import numpy as np
+
+from bench_util import once, print_table
+from repro.attacks import ThresholdNIOM, score_occupancy_attack
+from repro.home import MeterConfig, NetMeter, home_b, simulate_home
+from repro.solar import (
+    LatLon,
+    SolarSite,
+    SunDance,
+    WeatherField,
+    Weatherman,
+    WeatherStationDB,
+    simulate_generation,
+)
+
+SITE = SolarSite("net-home", LatLon(40.01, -105.27))
+N_DAYS = 60
+
+
+def test_sundance_disaggregation(benchmark):
+    weather = WeatherField()
+    home = simulate_home(home_b(), N_DAYS, rng=77)
+    generation = simulate_generation(SITE, N_DAYS, 60.0, weather, rng=78)
+    net = NetMeter(MeterConfig(noise_std_w=10.0)).observe_net(
+        home.total, generation, 79
+    )
+
+    def experiment():
+        estimate = SunDance().disaggregate(net)
+        n = len(estimate.generation)
+        truth_gen = generation.resample(60.0).values[:n]
+        gen_error = float(
+            np.abs(estimate.generation.values - truth_gen).sum() / truth_gen.sum()
+        )
+        detector = ThresholdNIOM(window_s=3600.0)
+        direct = score_occupancy_attack(
+            detector.detect(home.metered).occupancy, home.occupancy
+        )["mcc"]
+        recovered = score_occupancy_attack(
+            detector.detect(estimate.consumption).occupancy, home.occupancy
+        )["mcc"]
+        net_only = score_occupancy_attack(
+            detector.detect(net.clipped(low=0.0)).occupancy, home.occupancy
+        )["mcc"]
+        stations = WeatherStationDB(
+            weather, (36.0, 44.0), (-109.0, -101.0), 1.0
+        )
+        loc = Weatherman(stations).localize(estimate.generation)
+        return gen_error, direct, recovered, net_only, loc.error_km(SITE.location)
+
+    gen_error, direct, recovered, net_only, loc_err = once(benchmark, experiment)
+    print_table(
+        "Sec. II-B — SunDance chained attack (paper: net meter data can be "
+        "accurately split, re-enabling NIOM/NILM and localization)",
+        ["quantity", "value"],
+        [
+            ["generation error factor", gen_error],
+            ["NIOM mcc on true consumption", direct],
+            ["NIOM mcc on recovered consumption", recovered],
+            ["NIOM mcc on raw net trace", net_only],
+            ["Weatherman km on recovered generation", loc_err],
+        ],
+    )
+    assert gen_error < 0.35, "generation should be recovered accurately"
+    # the raw net trace defeats NIOM outright; disaggregation re-enables it
+    # (partially — residual solar artifacts still blunt the detector)
+    assert net_only < 0.1, "solar export should mask occupancy in raw net data"
+    assert recovered > net_only + 0.15, "disaggregation re-enables NIOM"
+    assert recovered > 0.15
+    assert loc_err < 50.0, "recovered generation still localizes the home"

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Sec. IV end-to-end: an untrusted IoT fleet on a trusted LAN.
+
+Simulates a 24-device home network, then demonstrates:
+
+1. the fingerprinting attack — device types identified from traffic
+   patterns alone;
+2. the passive privacy attack — occupancy read off encrypted traffic
+   timing;
+3. a compromise — a camera joins a DDoS botnet (the Mirai scenario the
+   paper cites);
+4. the smart-gateway defense — least-privilege blocking plus automatic
+   quarantine of the compromised camera.
+
+Usage::
+
+    python examples/network_gateway.py
+"""
+
+from repro.attacks import score_occupancy_attack
+from repro.netpriv import (
+    Compromise,
+    CompromiseKind,
+    DeviceFingerprinter,
+    LanConfig,
+    SmartGateway,
+    device_window_features,
+    inject_compromise,
+    occupancy_from_traffic,
+    simulate_lan,
+)
+from repro.timeseries import SECONDS_PER_DAY
+
+TRAIN_S = 2 * SECONDS_PER_DAY
+
+
+def main() -> None:
+    print("Simulating a 4-day home LAN...")
+    lan = simulate_lan(LanConfig(), n_days=4, rng=11)
+    print(f"  {len(lan.devices)} devices, {len(lan.log):,} flows")
+
+    print("\n[attack 1] Fingerprinting device types from flow features...")
+    train = device_window_features(lan.log.in_window(0, TRAIN_S), TRAIN_S)
+    fingerprinter = DeviceFingerprinter(rng=0).fit(train, lan.devices)
+    full = device_window_features(lan.log, lan.duration_s)
+    hits = 0
+    for device in lan.devices:
+        guess = fingerprinter.predict_device(full[device.device_id][48:])
+        hits += guess == device.device_type.value
+    print(f"  identified {hits}/{len(lan.devices)} devices' types "
+          "from traffic patterns alone")
+
+    print("\n[attack 2] Reading occupancy off encrypted traffic timing...")
+    occupancy = occupancy_from_traffic(lan.log, lan.devices, lan.duration_s)
+    scores = score_occupancy_attack(occupancy, lan.occupancy)
+    print(f"  occupancy inference: accuracy {scores['accuracy']:.0%}, "
+          f"MCC {scores['mcc']:.2f} — no payloads were inspected")
+
+    print("\n[compromise] camera-1 joins a DDoS botnet on day 3...")
+    compromise = Compromise("camera-1", CompromiseKind.DDOS, start_s=2.5 * SECONDS_PER_DAY)
+    attacked = inject_compromise(
+        lan.log, compromise, lan.duration_s,
+        [d.device_id for d in lan.devices], rng=3,
+    )
+
+    print("\n[defense] Smart gateway: learn baselines, enforce least privilege...")
+    gateway = SmartGateway()
+    device_types = {d.device_id: d.device_type.value for d in lan.devices}
+    gateway.learn_baselines(
+        lan.log.in_window(0, TRAIN_S), TRAIN_S, device_types=device_types
+    )
+    passed, report = gateway.enforce(attacked, lan.duration_s)
+    if report.detected("camera-1"):
+        delay_h = report.detection_delay_s("camera-1", compromise.start_s) / 3600.0
+        print(f"  camera-1 quarantined {delay_h:.1f} h after compromise")
+    dropped = len(attacked) - len(passed) - report.blocked_lateral
+    print(f"  flows allowed {report.allowed:,}, "
+          f"lateral blocked {report.blocked_lateral}, "
+          f"quarantine-dropped {dropped:,}")
+    false_positives = [d for d in report.quarantined_devices if d != "camera-1"]
+    print(f"  false quarantines: {false_positives or 'none'}")
+
+    print("\nThe gateway needed no payload inspection and no vendor")
+    print("cooperation — exactly the 'smart gateway router' the paper")
+    print("proposes. (Passive monitoring by a compromised device remains")
+    print("invisible; least-privilege isolation is the only remedy.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The Fig. 6 story end-to-end: occupancy attack, then CHPr.
+
+Simulates a two-worker household with an electric water heater, shows how
+well the NIOM attack reads the family's schedule off the smart meter, then
+re-controls the *same* water heater (same hot-water demand, same tank)
+with CHPr and shows the attack collapse to random guessing — at nearly
+zero energy cost, because the tank stores heat it had to deliver anyway.
+
+Usage::
+
+    python examples/occupancy_attack_and_chpr.py
+"""
+
+import numpy as np
+
+from repro.attacks import ThresholdNIOM, score_occupancy_attack
+from repro.datasets import fig6_dataset
+from repro.defenses import apply_chpr
+from repro.timeseries import SECONDS_PER_DAY
+
+
+def ascii_day(trace, occupancy, day: int, width: int = 72) -> None:
+    """Print a one-line ASCII sketch of a day's power with occupancy marks."""
+    t0 = day * SECONDS_PER_DAY
+    power = trace.slice_time(t0, t0 + SECONDS_PER_DAY)
+    occ = occupancy.slice_time(t0, t0 + SECONDS_PER_DAY)
+    bins = np.array_split(power.values, width)
+    occ_bins = np.array_split(occ.values, width)
+    peak = max(trace.max(), 1.0)
+    levels = " .:-=+*#%@"
+    line = "".join(
+        levels[min(int(len(levels) * (b.mean() / peak) * 3), len(levels) - 1)]
+        for b in bins
+    )
+    marks = "".join("^" if o.mean() > 0.5 else " " for o in occ_bins)
+    print(f"    power     |{line}|")
+    print(f"    occupied  |{marks}|")
+
+
+def main() -> None:
+    print("Simulating the Fig. 6 home: two workers, 50-gal electric heater...")
+    sim = fig6_dataset(n_days=7)
+    heater_kwh = sim.appliance_traces["water_heater"].energy_kwh()
+    print(f"  hot water demand: {sim.hot_water_draws.sum() / 7:.0f} L/day, "
+          f"heater energy {heater_kwh:.1f} kWh/week")
+
+    detector = ThresholdNIOM(window_s=3600.0, night_prior=True)
+    before = score_occupancy_attack(
+        detector.detect(sim.metered).occupancy, sim.occupancy
+    )
+    print(f"\nAttack on the original week: MCC {before['mcc']:.3f} "
+          f"(paper's original: 0.44)")
+    print("  A weekday, original meter (caret = someone home):")
+    ascii_day(sim.metered, sim.occupancy, day=1)
+
+    print("\nApplying CHPr (same tank, same hot-water demand)...")
+    outcome = apply_chpr(sim, rng=2027)
+    after = score_occupancy_attack(
+        detector.detect(outcome.visible).occupancy, sim.occupancy
+    )
+    print(f"  attack on the CHPr week: MCC {after['mcc']:.3f} "
+          f"(paper's CHPr: 0.045 — random prediction is 0.0)")
+    print(f"  extra energy: {outcome.extra_energy_kwh:+.1f} kWh/week "
+          f"({outcome.extra_energy_kwh / heater_kwh:+.0%} of heater energy)")
+    print(f"  hot-water comfort violations: "
+          f"{outcome.comfort_violation_fraction:.2%} of samples")
+    print("  The same weekday, CHPr meter:")
+    ascii_day(outcome.visible, sim.occupancy, day=1)
+
+    reduction = before["mcc"] / max(abs(after["mcc"]), 1e-3)
+    print(f"\nAttack degraded {reduction:.0f}x. The heater's thermal tank is "
+          "doing the masking for free.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The user-controllable privacy knob (Sec. III-E).
+
+The paper's closing proposal: users should hold "an abstract 'knob' ...
+adjusted to tradeoff the loss of privacy ... with the value or utility
+offered by the service".  This example sweeps the knob over a simulated
+home and prints the frontier it traces, alongside the discrete defenses
+it interpolates between.
+
+Usage::
+
+    python examples/privacy_knob.py
+"""
+
+import numpy as np
+
+from repro.core import PrivacyKnob, sweep_knob
+from repro.home import home_b, simulate_home
+
+
+def bar(value: float, scale: float, width: int = 28) -> str:
+    filled = int(np.clip(value / scale, 0.0, 1.0) * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    print("Simulating a week of Home-B...")
+    sim = simulate_home(home_b(), n_days=7, rng=13)
+
+    knob = PrivacyKnob()
+    settings = np.linspace(0.0, 1.0, 6)
+    print("Sweeping the privacy knob (this runs the full attack ensemble "
+          "at every setting)...\n")
+    points = sweep_knob(knob, sim.metered, sim.occupancy, settings, rng=14)
+
+    print(f"{'knob':>6s}  {'attack MCC':>10s}  {'privacy':28s}  "
+          f"{'utility':>7s}  {'utility bar':28s}  stages")
+    for setting, point in zip(settings, points):
+        mcc = point.privacy.worst_case_mcc
+        utility = point.utility.composite()
+        stages = [type(d).__name__ for d in knob.defenses_for(float(setting))]
+        privacy_level = 1.0 - np.clip(mcc, 0.0, 1.0)
+        print(f"{setting:6.2f}  {mcc:10.3f}  {bar(privacy_level, 1.0)}  "
+              f"{utility:7.2f}  {bar(utility, 1.0)}  {', '.join(stages) or '(pass-through)'}")
+
+    print("\nTurning the knob right buys privacy (attack MCC falls) and")
+    print("spends utility (billing/planning analytics degrade) — a single")
+    print("continuous control over the tradeoff the paper's discrete")
+    print("defenses each fix at one point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a home, attack its meter data, defend it.
+
+Runs in under a minute and touches the three layers of the library:
+
+1. simulate a smart home (appliances + occupants + smart meter);
+2. run the NIOM occupancy attack on the metered data the utility sees;
+3. apply defenses and watch the attack collapse.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.attacks import ThresholdNIOM, score_occupancy_attack
+from repro.core import run_pipeline
+from repro.home import home_b, simulate_home
+
+
+def main() -> None:
+    print("Simulating Fig. 1's Home-B for one week (1-minute smart meter)...")
+    sim = simulate_home(home_b(), n_days=7, rng=42)
+    print(f"  mean load {sim.metered.mean():.0f} W, "
+          f"peak {sim.metered.max() / 1000:.1f} kW, "
+          f"energy {sim.metered.energy_kwh():.1f} kWh")
+    print(f"  ground-truth occupancy: home {sim.occupancy.fraction_true():.0%} "
+          "of the time")
+
+    print("\nAttacking the metered trace with NIOM (no ground truth used)...")
+    detector = ThresholdNIOM(window_s=3600.0, night_prior=True)
+    detected = detector.detect(sim.metered)
+    scores = score_occupancy_attack(detected.occupancy, sim.occupancy)
+    print(f"  occupancy detection accuracy {scores['accuracy']:.0%}, "
+          f"MCC {scores['mcc']:.2f} "
+          "(paper: 70-90% accuracy across homes)")
+
+    print("\nSweeping every registered defense through the pipeline...")
+    result = run_pipeline(sim, rng=0)
+    print(f"  {'defense':14s} {'attack MCC':>10s} {'utility':>8s} {'extra kWh':>10s}")
+    base = result.baseline
+    print(f"  {'(none)':14s} {base.privacy.worst_case_mcc:10.3f} "
+          f"{base.utility.composite():8.2f} {0.0:10.1f}")
+    for name, point in sorted(result.defenses.items()):
+        print(f"  {name:14s} {point.privacy.worst_case_mcc:10.3f} "
+              f"{point.utility.composite():8.2f} {point.extra_energy_kwh:10.1f}")
+
+    print("\nEach defense sits at a different point of the privacy/utility/")
+    print("cost tradeoff — the observation that motivates the paper's")
+    print("user-controllable privacy knob (see examples/privacy_knob.py).")
+
+
+if __name__ == "__main__":
+    main()

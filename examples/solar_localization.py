@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Locate an "anonymous" solar home from its generation trace.
+
+The Sec. II-B scenario: a utility or vendor releases a solar generation
+trace with names and geo-coordinates stripped (as the DOE Voluntary Code
+of Conduct permits).  This example shows why that anonymization fails:
+
+* SunSpot recovers the location from sunrise/sunset geometry in the
+  1-minute data;
+* Weatherman recovers it from the weather signature in 1-hour data,
+  using only a public weather-station database;
+* SunDance shows that even publishing only *net* meter data does not
+  help — generation can be separated back out first.
+
+Usage::
+
+    python examples/solar_localization.py
+"""
+
+import numpy as np
+
+from repro.solar import (
+    LatLon,
+    SolarSite,
+    SunSpot,
+    WeatherField,
+    Weatherman,
+    WeatherStationDB,
+    simulate_generation,
+)
+
+SECRET_LOCATION = LatLon(39.74, -104.99)  # the home the data belongs to
+
+
+def main() -> None:
+    print("A homeowner near Denver uploads a year of PV data 'anonymously'...")
+    weather = WeatherField()
+    site = SolarSite("anonymous", SECRET_LOCATION)
+    generation = simulate_generation(site, 365, 60.0, weather, rng=7)
+    print(f"  trace: {len(generation):,} one-minute samples, "
+          f"{generation.energy_kwh():.0f} kWh/year — no coordinates attached")
+
+    print("\nSunSpot (solar signature, 1-minute data)...")
+    sunspot_result = SunSpot().localize(generation)
+    print(f"  estimate ({sunspot_result.estimate.lat:.2f}, "
+          f"{sunspot_result.estimate.lon:.2f}) — "
+          f"{sunspot_result.error_km(SECRET_LOCATION):.1f} km from the home")
+
+    print("\nWeatherman (weather signature, 1-HOUR data + public stations)...")
+    stations = WeatherStationDB(weather)
+    print(f"  correlating against {len(stations)} public weather stations...")
+    hourly = generation.resample(3600.0)
+    weatherman_result = Weatherman(stations).localize(hourly)
+    print(f"  estimate ({weatherman_result.estimate.lat:.2f}, "
+          f"{weatherman_result.estimate.lon:.2f}) — "
+          f"{weatherman_result.error_km(SECRET_LOCATION):.1f} km from the home")
+
+    print("\nStripping the geo-tag did not anonymize the data: the location")
+    print("is embedded in the physics of the trace itself (the paper's")
+    print("Fig. 5 argument). Combine with satellite rooftop-array detection")
+    print("and the specific house is identified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""NILM attacks: PowerPlay (model-driven), FHMM (learned), Hart (edges)."""
+
+from .common import DisaggregationResult, align_truth_to_meter, disaggregation_error
+from .fhmm import FHMMConfig, FHMMDisaggregator
+from .hart import HartDisaggregator
+from .powerplay import LoadKind, LoadSignature, PowerPlayTracker, fig2_signatures
+
+__all__ = [
+    "DisaggregationResult",
+    "align_truth_to_meter",
+    "disaggregation_error",
+    "FHMMConfig",
+    "FHMMDisaggregator",
+    "HartDisaggregator",
+    "LoadKind",
+    "LoadSignature",
+    "PowerPlayTracker",
+    "fig2_signatures",
+]

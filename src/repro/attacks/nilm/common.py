@@ -1,0 +1,51 @@
+"""Shared NILM types and the Fig. 2 error metric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...timeseries import PowerTrace
+
+
+@dataclass(frozen=True)
+class DisaggregationResult:
+    """Per-appliance power estimates inferred from an aggregate trace."""
+
+    estimates: dict[str, PowerTrace]
+
+    def appliance(self, name: str) -> PowerTrace:
+        if name not in self.estimates:
+            raise KeyError(f"no estimate for appliance {name!r}")
+        return self.estimates[name]
+
+
+def disaggregation_error(estimate: PowerTrace, truth: PowerTrace) -> float:
+    """The paper's tracking error factor (Fig. 2).
+
+    Sum of absolute per-sample errors normalized by the device's total
+    energy: 0 is perfect tracking; 1 means the errors equal the device's
+    own usage (what "always predict zero" scores); values above 1 mean the
+    estimate is actively worse than silence.
+    """
+    n = min(len(estimate), len(truth))
+    if n == 0:
+        raise ValueError("empty traces")
+    if abs(estimate.period_s - truth.period_s) > 1e-9:
+        raise ValueError("estimate and truth must share a sampling period")
+    est = estimate.values[:n]
+    tru = truth.values[:n]
+    denominator = float(tru.sum())
+    if denominator <= 0.0:
+        raise ValueError("device never used in the truth trace")
+    return float(np.abs(est - tru).sum() / denominator)
+
+
+def align_truth_to_meter(truth: PowerTrace, metered: PowerTrace) -> PowerTrace:
+    """Resample a base-period ground-truth trace onto the meter clock."""
+    out = truth
+    if metered.period_s > truth.period_s:
+        out = truth.resample(metered.period_s, reducer="mean")
+    n = min(len(out), len(metered))
+    return PowerTrace(out.values[:n], out.period_s, out.start_s, out.unit)

@@ -1,0 +1,422 @@
+"""PowerPlay: model-driven real-time load tracking (virtual power meters).
+
+Reproduces Barker et al. (BuildSys'14, ref. [2]), the stronger NILM bar in
+Fig. 2.  PowerPlay differs from learning-based NILM in two ways the paper
+stresses: (i) it tracks the real-time power of *specific* loads rather than
+disaggregating everything, and (ii) it assumes a detailed a-priori *model*
+of each tracked load, parameterized by a small number of electrical
+characteristics (resistive / inductive / non-linear / cyclical, per
+ref. [18]).  Each tracked load gets a "virtual sensor" that scans the
+aggregate for that load's identifiable features — edge magnitudes,
+durations, duty cycles — and emits the load's estimated power.
+
+The virtual sensors are intentionally feature-based rather than
+probabilistic: a fridge's +150 W / -150 W cycle pair with a ~15 min on-time
+survives meter noise and unmodeled background activity far better than a
+joint generative model does, which is exactly the robustness Fig. 2
+demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ...timeseries import Edge, PowerTrace, detect_edges
+from .common import DisaggregationResult
+
+
+class LoadKind(Enum):
+    """Electrical load classes from ref. [18]."""
+
+    RESISTIVE = "resistive"
+    INDUCTIVE = "inductive"
+    NON_LINEAR = "non_linear"
+    CYCLIC = "cyclic"
+    CONTINUOUS = "continuous"
+    COMPOUND = "compound"
+
+
+@dataclass(frozen=True)
+class LoadSignature:
+    """An a-priori appliance model, as PowerPlay assumes is known.
+
+    Parameters
+    ----------
+    name / kind:
+        Identity and electrical class.
+    on_power_w:
+        Steady active power while on (for COMPOUND: the cycling element's
+        power; ``motor_power_w`` carries the continuous part).
+    power_tolerance:
+        Relative tolerance when matching edge magnitudes (e.g. 0.25 accepts
+        edges within +/-25% of nominal).
+    min_duration_s / max_duration_s:
+        On-cycle duration bounds.
+    cycle_period_s:
+        For CYCLIC loads: nominal full on+off period, used to enforce
+        periodicity when claiming cycles.
+    nominal_on_s:
+        For CYCLIC loads: typical on-cycle duration.  When one edge of a
+        cycle is corrupted by a concurrent transition of another load, the
+        virtual sensor claims the surviving edge and fills the modeled
+        nominal duration — the model-driven recovery that feature-free
+        methods cannot do.
+    motor_power_w:
+        For COMPOUND loads: the continuous motor draw accompanying the
+        cycling element.
+    base_power_w:
+        For CONTINUOUS loads: the always-on draw (and ``on_power_w`` is the
+        boosted level, if any).
+    """
+
+    name: str
+    kind: LoadKind
+    on_power_w: float
+    power_tolerance: float = 0.25
+    min_duration_s: float = 60.0
+    max_duration_s: float = 7200.0
+    cycle_period_s: float | None = None
+    nominal_on_s: float | None = None
+    motor_power_w: float = 0.0
+    base_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.on_power_w <= 0:
+            raise ValueError("on_power_w must be positive")
+        if not 0.0 < self.power_tolerance < 1.0:
+            raise ValueError("power_tolerance must be in (0, 1)")
+        if self.min_duration_s <= 0 or self.max_duration_s < self.min_duration_s:
+            raise ValueError("invalid duration bounds")
+        if self.kind is LoadKind.CYCLIC and self.cycle_period_s is None:
+            raise ValueError("cyclic loads need cycle_period_s")
+        if self.kind is LoadKind.COMPOUND and self.motor_power_w <= 0:
+            raise ValueError("compound loads need motor_power_w")
+
+    def matches_magnitude(self, delta_w: float) -> bool:
+        target = self.on_power_w + (
+            self.motor_power_w if self.kind is LoadKind.COMPOUND else 0.0
+        )
+        return abs(abs(delta_w) - target) <= self.power_tolerance * target
+
+
+@dataclass
+class _Claim:
+    """A matched on-cycle of one signature."""
+
+    start_index: int
+    end_index: int
+    measured_power_w: float
+
+
+class PowerPlayTracker:
+    """Virtual power meters over an aggregate smart-meter trace.
+
+    Signatures are processed in descending power order so that large,
+    unambiguous loads (dryer) claim their edges before small loads (fridge)
+    scan what remains — mirroring PowerPlay's prioritization of easily
+    identifiable features.
+    """
+
+    def __init__(
+        self,
+        signatures: list[LoadSignature],
+        edge_threshold_w: float = 40.0,
+        edge_settle_samples: int = 3,
+    ) -> None:
+        if not signatures:
+            raise ValueError("need at least one signature")
+        names = [s.name for s in signatures]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate signature names")
+        self.signatures = sorted(
+            signatures, key=lambda s: s.on_power_w + s.motor_power_w, reverse=True
+        )
+        self.edge_threshold_w = edge_threshold_w
+        # median over a few settle samples keeps inductive startup spikes
+        # out of the measured steady-state edge magnitude
+        self.edge_settle_samples = edge_settle_samples
+
+    # ------------------------------------------------------------------
+    def track(self, metered: PowerTrace) -> DisaggregationResult:
+        """Run every virtual sensor; returns per-load power estimates."""
+        edges = detect_edges(
+            metered,
+            min_delta_w=self.edge_threshold_w,
+            settle_samples=self.edge_settle_samples,
+        )
+        used = np.zeros(len(edges), dtype=bool)
+        estimates: dict[str, PowerTrace] = {}
+        for signature in self.signatures:
+            if signature.kind is LoadKind.CONTINUOUS:
+                estimates[signature.name] = self._track_continuous(
+                    metered, signature, edges, used
+                )
+                continue
+            claims = self._claim_cycles(metered, edges, used, signature)
+            estimates[signature.name] = self._render(metered, signature, claims)
+        return DisaggregationResult(estimates)
+
+    # ------------------------------------------------------------------
+    def _claim_cycles(
+        self,
+        metered: PowerTrace,
+        edges: list[Edge],
+        used: np.ndarray,
+        signature: LoadSignature,
+    ) -> list[_Claim]:
+        """Best-score rise/fall pairing under the signature's constraints.
+
+        All feasible (rise, fall) candidates are scored by how closely they
+        match the modeled magnitude and by rise/fall magnitude agreement;
+        pairs are then accepted best-first without reusing edges or
+        overlapping in time.  Best-first selection matters in a noisy
+        aggregate: a lighting step can fall in a small load's magnitude
+        band, and greedy first-come matching would let it steal a cycle.
+        """
+        period = metered.period_s
+        target = signature.on_power_w + (
+            signature.motor_power_w if signature.kind is LoadKind.COMPOUND else 0.0
+        )
+        candidates: list[tuple[float, int, int]] = []
+        rises = [
+            (i, e)
+            for i, e in enumerate(edges)
+            if e.is_rising and not used[i] and signature.matches_magnitude(e.delta_w)
+        ]
+        falls = [
+            (j, e)
+            for j, e in enumerate(edges)
+            if not e.is_rising and not used[j] and signature.matches_magnitude(e.delta_w)
+        ]
+        for i, rise in rises:
+            for j, fall in falls:
+                if fall.time_s <= rise.time_s:
+                    continue
+                duration = fall.time_s - rise.time_s
+                if duration < signature.min_duration_s:
+                    continue
+                if duration > signature.max_duration_s:
+                    break  # falls are time-ordered; all later ones too long
+                magnitude_error = (
+                    abs(abs(rise.delta_w) - target)
+                    + abs(abs(fall.delta_w) - target)
+                    + abs(rise.delta_w + fall.delta_w)
+                )
+                candidates.append((magnitude_error / target, i, j))
+        candidates.sort()
+
+        claimed_spans: list[tuple[int, int]] = []
+        claims: list[_Claim] = []
+        for _score, i, j in candidates:
+            if used[i] or used[j]:
+                continue
+            start, end = edges[i].index, edges[j].index
+            if any(start < e and end > s for s, e in claimed_spans):
+                continue  # overlaps a cycle this load is already running
+            used[i] = True
+            used[j] = True
+            claimed_spans.append((start, end))
+            claims.append(
+                _Claim(
+                    start_index=start,
+                    end_index=end,
+                    measured_power_w=(abs(edges[i].delta_w) + abs(edges[j].delta_w)) / 2.0,
+                )
+            )
+        claims.sort(key=lambda c: c.start_index)
+
+        if signature.kind is LoadKind.CYCLIC and signature.nominal_on_s:
+            claims = self._claim_orphans(
+                metered, edges, used, signature, claims
+            )
+
+        if signature.kind is LoadKind.CYCLIC and signature.cycle_period_s:
+            claims = self._enforce_periodicity(claims, period, signature)
+        return claims
+
+    def _claim_orphans(
+        self,
+        metered: PowerTrace,
+        edges: list[Edge],
+        used: np.ndarray,
+        signature: LoadSignature,
+        claims: list[_Claim],
+    ) -> list[_Claim]:
+        """Recover cycles whose partner edge was corrupted.
+
+        A concurrent transition of another load inside the settle window
+        shifts one edge's measured magnitude out of the matching band, so
+        strict pairing drops the whole cycle.  For cyclic loads the model
+        knows the nominal on-duration: an orphan rise (or fall) that
+        matches tightly is claimed on its own and filled forward (or
+        backward) for the nominal duration.
+        """
+        period = metered.period_s
+        nominal_samples = max(1, int(signature.nominal_on_s / period))
+        spans = [(c.start_index, c.end_index) for c in claims]
+
+        def overlaps(start: int, end: int) -> bool:
+            return any(start < e and end > s for s, e in spans)
+
+        extra: list[_Claim] = []
+        for i, edge in enumerate(edges):
+            if used[i] or not signature.matches_magnitude(edge.delta_w):
+                continue
+            if edge.is_rising:
+                start = edge.index
+                end = min(len(metered), start + nominal_samples)
+            else:
+                end = edge.index
+                start = max(0, end - nominal_samples)
+            if overlaps(start, end):
+                continue
+            used[i] = True
+            spans.append((start, end))
+            extra.append(
+                _Claim(
+                    start_index=start,
+                    end_index=end,
+                    measured_power_w=abs(edge.delta_w),
+                )
+            )
+        merged = claims + extra
+        merged.sort(key=lambda c: c.start_index)
+        return merged
+
+    @staticmethod
+    def _enforce_periodicity(
+        claims: list[_Claim], period_s: float, signature: LoadSignature
+    ) -> list[_Claim]:
+        """Drop claimed cycles that violate the load's duty-cycle spacing.
+
+        A fridge cannot start a new cooling cycle moments after finishing
+        one; a claim starting well before the nominal period has elapsed is
+        likely another appliance's edge pair.
+        """
+        if len(claims) < 2:
+            return claims
+        min_gap_s = 0.3 * signature.cycle_period_s
+        kept: list[_Claim] = [claims[0]]
+        for claim in claims[1:]:
+            gap = (claim.start_index - kept[-1].start_index) * period_s
+            if gap >= min_gap_s:
+                kept.append(claim)
+        return kept
+
+    def _render(
+        self,
+        metered: PowerTrace,
+        signature: LoadSignature,
+        claims: list[_Claim],
+    ) -> PowerTrace:
+        """Virtual-sensor output: the load's modeled power during claims."""
+        values = np.zeros(len(metered))
+        for claim in claims:
+            if signature.kind is LoadKind.COMPOUND:
+                # element cycles under thermostat control on top of the
+                # motor; the edge pair brackets one element burst, so fill
+                # with motor + element and let adjacent claims tile the run
+                values[claim.start_index : claim.end_index] = (
+                    signature.motor_power_w + signature.on_power_w
+                )
+            else:
+                level = min(
+                    claim.measured_power_w,
+                    signature.on_power_w * (1.0 + signature.power_tolerance),
+                )
+                values[claim.start_index : claim.end_index] = level
+        return PowerTrace(values, metered.period_s, metered.start_s, "W")
+
+    def _track_continuous(
+        self,
+        metered: PowerTrace,
+        signature: LoadSignature,
+        edges: list[Edge],
+        used: np.ndarray,
+    ) -> PowerTrace:
+        """Always-on loads: the known base draw plus detected boost cycles.
+
+        The virtual sensor reports the modeled base power whenever the
+        aggregate supports it (it always does unless the home is
+        disconnected).  Boost periods — e.g. an HRV shifting to high speed —
+        appear as +/-(on - base) edge pairs and are claimed like any other
+        cycle.
+        """
+        base = signature.base_power_w if signature.base_power_w > 0 else signature.on_power_w
+        values = np.full(len(metered), base)
+        feasible = metered.values >= 0.8 * base
+        values[~feasible] = np.maximum(metered.values[~feasible], 0.0)
+        boost = signature.on_power_w - base
+        if boost > 40.0:
+            boost_signature = LoadSignature(
+                name=f"{signature.name}:boost",
+                kind=LoadKind.NON_LINEAR,
+                on_power_w=boost,
+                power_tolerance=signature.power_tolerance,
+                min_duration_s=signature.min_duration_s,
+                max_duration_s=signature.max_duration_s,
+            )
+            for claim in self._claim_cycles(metered, edges, used, boost_signature):
+                values[claim.start_index : claim.end_index] = signature.on_power_w
+        return PowerTrace(values, metered.period_s, metered.start_s, "W")
+
+
+def fig2_signatures() -> list[LoadSignature]:
+    """A-priori models for the five Fig. 2 devices.
+
+    These are the public "load models known a priori" PowerPlay assumes —
+    nominal plates and duty cycles, deliberately *not* tuned to any single
+    simulated home.
+    """
+    return [
+        LoadSignature(
+            name="toaster",
+            kind=LoadKind.RESISTIVE,
+            on_power_w=1050.0,
+            power_tolerance=0.2,
+            min_duration_s=60.0,
+            max_duration_s=360.0,
+        ),
+        LoadSignature(
+            name="fridge",
+            kind=LoadKind.CYCLIC,
+            on_power_w=150.0,
+            # tolerance tight enough to not claim the freezer's 120 W edges
+            power_tolerance=0.12,
+            min_duration_s=300.0,
+            max_duration_s=2400.0,
+            cycle_period_s=45.0 * 60.0,
+            nominal_on_s=15.0 * 60.0,
+        ),
+        LoadSignature(
+            name="freezer",
+            kind=LoadKind.CYCLIC,
+            on_power_w=120.0,
+            power_tolerance=0.12,
+            min_duration_s=300.0,
+            max_duration_s=2400.0,
+            cycle_period_s=52.0 * 60.0,
+            nominal_on_s=12.0 * 60.0,
+        ),
+        LoadSignature(
+            name="dryer",
+            kind=LoadKind.COMPOUND,
+            on_power_w=4800.0,
+            motor_power_w=300.0,
+            power_tolerance=0.15,
+            min_duration_s=120.0,
+            max_duration_s=900.0,
+        ),
+        LoadSignature(
+            name="hrv",
+            kind=LoadKind.CONTINUOUS,
+            on_power_w=160.0,
+            base_power_w=80.0,
+            power_tolerance=0.3,
+            min_duration_s=600.0,
+            max_duration_s=7200.0,
+        ),
+    ]

@@ -1,0 +1,242 @@
+"""NIOM: Non-Intrusive Occupancy Monitoring from smart-meter data.
+
+Sec. II-A of the paper: when a home is occupied, interactive appliance use
+raises both the level and the burstiness of total power; when it is empty,
+only background loads (fridge, freezer, HRV) remain.  A NIOM detector turns
+a metered aggregate into a binary occupancy series, and the paper reports
+70-90% accuracy for such detectors across a range of homes (refs. [1],
+[14]).
+
+Three detectors are provided, mirroring the families in the literature:
+
+* :class:`ThresholdNIOM` — per-window mean/std thresholds calibrated from
+  the night-time (certainly-occupied-but-idle) distribution;
+* :class:`ClusterNIOM` — 2-means over window features, the unsupervised
+  approach of Kleiminger et al.;
+* :class:`HMMNIOM` — a two-state Gaussian HMM over window features, which
+  adds temporal smoothing (occupancy persists).
+
+All consume only the metered trace — never simulator ground truth — and
+return a :class:`BinaryTrace` on the window clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml import GaussianHMM, KMeans, StandardScaler
+from ..timeseries import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    BinaryTrace,
+    PowerTrace,
+    window_features,
+)
+
+DEFAULT_WINDOW_S = 900.0  # 15-minute decision windows, as in ref. [1]
+NIGHT_START_HOUR = 23.0
+NIGHT_END_HOUR = 6.0
+
+
+def _window_clock(trace: PowerTrace, window_s: float) -> tuple[int, float]:
+    """Effective decision window: never finer than the trace itself.
+
+    Defenses that coarsen the reporting interval can make the visible trace
+    coarser than the detector's preferred window; the attacker then simply
+    decides at the trace's own granularity.
+    """
+    window_s = max(window_s, trace.period_s)
+    n_windows = int(trace.duration_s // window_s)
+    if n_windows < 4:
+        raise ValueError("trace too short for occupancy detection")
+    return n_windows, window_s
+
+
+def _apply_night_prior(
+    occupied: np.ndarray, window_s: float, start_s: float
+) -> np.ndarray:
+    """Force late-night windows to occupied.
+
+    The standard NIOM prior (Kleiminger et al.): residents sleep at home,
+    so a power signal that looks idle overnight still means "occupied".
+    The interesting detection problem — and the one the paper's figures
+    evaluate (Fig. 1 spans 8am-11pm) — is the daytime one.
+    """
+    window_hours = (
+        (start_s + np.arange(len(occupied)) * window_s) % SECONDS_PER_DAY
+    ) / SECONDS_PER_HOUR
+    night = (window_hours >= NIGHT_START_HOUR) | (window_hours < NIGHT_END_HOUR)
+    out = occupied.copy()
+    out[night] = 1
+    return out
+
+
+@dataclass(frozen=True)
+class NIOMResult:
+    """Detector output plus the per-window feature matrix used."""
+
+    occupancy: BinaryTrace
+    features: np.ndarray
+
+
+class ThresholdNIOM:
+    """Threshold NIOM (Chen et al., BuildSys'13 style).
+
+    Calibrates an "idle home" baseline from the globally quietest windows
+    (lowest mean power), then flags a window as occupied if its mean power
+    or its variability exceeds the baseline by a multiplicative margin.
+    The quietest windows of any home are almost always unoccupied or
+    asleep-idle periods, so this is a self-calibrating unsupervised attack.
+
+    Parameters
+    ----------
+    window_s:
+        Decision window span.
+    baseline_quantile:
+        Fraction of quietest windows treated as the idle baseline.
+    mean_margin / std_margin:
+        Multiplicative thresholds over the baseline mean/std.
+    """
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_WINDOW_S,
+        baseline_quantile: float = 0.15,
+        mean_margin: float = 1.6,
+        std_margin: float = 2.5,
+        night_prior: bool = False,
+    ) -> None:
+        if not 0.0 < baseline_quantile < 0.5:
+            raise ValueError("baseline_quantile must be in (0, 0.5)")
+        if mean_margin <= 1.0 or std_margin <= 1.0:
+            raise ValueError("margins must exceed 1.0")
+        self.window_s = window_s
+        self.baseline_quantile = baseline_quantile
+        self.mean_margin = mean_margin
+        self.std_margin = std_margin
+        self.night_prior = night_prior
+
+    def detect(self, metered: PowerTrace) -> NIOMResult:
+        _, window_s = _window_clock(metered, self.window_s)
+        features = window_features(metered, window_s)
+        means = features[:, 0]
+        stds = features[:, 1]
+        n_base = max(3, int(len(means) * self.baseline_quantile))
+        quiet = np.argsort(means)[:n_base]
+        base_mean = float(np.median(means[quiet])) + 1.0
+        base_std = float(np.median(stds[quiet])) + 1.0
+        occupied = (means > self.mean_margin * base_mean) | (
+            stds > self.std_margin * base_std
+        )
+        occupied = occupied.astype(int)
+        if self.night_prior:
+            occupied = _apply_night_prior(occupied, window_s, metered.start_s)
+        return NIOMResult(
+            occupancy=BinaryTrace(occupied, window_s, metered.start_s),
+            features=features,
+        )
+
+
+class ClusterNIOM:
+    """Unsupervised 2-means NIOM (Kleiminger et al., BuildSys'13 style).
+
+    Clusters window features into two groups and labels the cluster with
+    the higher mean power "occupied".
+    """
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_WINDOW_S,
+        night_prior: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.window_s = window_s
+        self.night_prior = night_prior
+        self._rng = np.random.default_rng(rng)
+
+    def detect(self, metered: PowerTrace) -> NIOMResult:
+        _, window_s = _window_clock(metered, self.window_s)
+        features = window_features(metered, window_s)
+        scaled = StandardScaler().fit_transform(features)
+        km = KMeans(2, rng=self._rng).fit(scaled)
+        labels = km.predict(scaled)
+        mean_power = [features[labels == k, 0].mean() if (labels == k).any() else 0.0 for k in (0, 1)]
+        occupied_cluster = int(np.argmax(mean_power))
+        occupied = (labels == occupied_cluster).astype(int)
+        if self.night_prior:
+            occupied = _apply_night_prior(occupied, window_s, metered.start_s)
+        return NIOMResult(
+            occupancy=BinaryTrace(occupied, window_s, metered.start_s),
+            features=features,
+        )
+
+
+class HMMNIOM:
+    """Two-state Gaussian HMM NIOM with temporal smoothing.
+
+    Fits an unsupervised two-state HMM to window features; the state with
+    the higher emission mean power is "occupied".  The learned sticky
+    transitions encode that occupancy persists across windows, which
+    suppresses single-window false flips that the memoryless detectors
+    make.
+    """
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_WINDOW_S,
+        n_iter: int = 30,
+        night_prior: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.window_s = window_s
+        self.n_iter = n_iter
+        self.night_prior = night_prior
+        self._rng = np.random.default_rng(rng)
+
+    def detect(self, metered: PowerTrace) -> NIOMResult:
+        _, window_s = _window_clock(metered, self.window_s)
+        features = window_features(metered, window_s)
+        scaled = StandardScaler().fit_transform(features)
+        hmm = GaussianHMM(2, n_iter=self.n_iter, rng=self._rng)
+        hmm.fit(scaled)
+        states = hmm.decode(scaled)
+        mean_power = [
+            features[states == k, 0].mean() if (states == k).any() else 0.0
+            for k in (0, 1)
+        ]
+        occupied_state = int(np.argmax(mean_power))
+        occupied = (states == occupied_state).astype(int)
+        if self.night_prior:
+            occupied = _apply_night_prior(occupied, window_s, metered.start_s)
+        return NIOMResult(
+            occupancy=BinaryTrace(occupied, window_s, metered.start_s),
+            features=features,
+        )
+
+
+def score_occupancy_attack(
+    detected: BinaryTrace, truth: BinaryTrace
+) -> dict[str, float]:
+    """Accuracy/MCC of a detector output against ground truth.
+
+    The truth series is resampled onto the detector's window clock by
+    majority vote.
+    """
+    from ..ml import accuracy, mcc
+
+    aligned = truth
+    if abs(truth.period_s - detected.period_s) > 1e-9:
+        aligned = truth.resample(detected.period_s)
+    n = min(len(aligned), len(detected))
+    if n == 0:
+        raise ValueError("no overlapping samples to score")
+    y_true = aligned.values[:n]
+    y_pred = detected.values[:n]
+    return {
+        "accuracy": accuracy(y_true, y_pred),
+        "mcc": mcc(y_true, y_pred),
+        "detected_fraction": float(y_pred.mean()),
+        "true_fraction": float(y_true.mean()),
+    }

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the library's main workflows without writing Python:
+
+* ``simulate`` — generate a home's metered trace (CSV out);
+* ``attack`` — run the NIOM ensemble on a trace (simulated or CSV);
+* ``defend`` — apply a registered defense to a trace and re-attack it;
+* ``localize`` — run SunSpot/Weatherman on a solar generation trace;
+* ``knob`` — sweep the Sec. III-E privacy knob over a simulated home;
+* ``info`` — list registered attacks, defenses, and home presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Private Memoirs of IoT Devices — attacks and defenses "
+        "for IoT sensor-data privacy (ICDCS 2018 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="simulate a home and export its metered trace")
+    p.add_argument("--home", default="home-b", choices=["home-a", "home-b", "fig2", "fig6", "random"])
+    p.add_argument("--days", type=int, default=7)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="metered.csv", help="CSV output path")
+
+    p = sub.add_parser("attack", help="run the NIOM ensemble on a trace")
+    p.add_argument("--trace", help="CSV trace (default: simulate home-b)")
+    p.add_argument("--home", default="home-b", choices=["home-a", "home-b", "fig2", "fig6", "random"])
+    p.add_argument("--days", type=int, default=7)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("defend", help="apply a defense and re-run the attack")
+    p.add_argument("defense", help="registered defense name (see 'info')")
+    p.add_argument("--home", default="home-b", choices=["home-a", "home-b", "fig2", "fig6", "random"])
+    p.add_argument("--days", type=int, default=7)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("localize", help="localize a solar generation trace")
+    p.add_argument("--trace", help="CSV generation trace (default: simulate a site)")
+    p.add_argument("--lat", type=float, default=40.01, help="true latitude (for error report)")
+    p.add_argument("--lon", type=float, default=-105.27, help="true longitude")
+    p.add_argument("--days", type=int, default=365)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--method", default="weatherman", choices=["sunspot", "weatherman", "both"])
+
+    p = sub.add_parser("knob", help="sweep the privacy knob over a simulated home")
+    p.add_argument("--days", type=int, default=7)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--steps", type=int, default=6)
+
+    sub.add_parser("info", help="list registered attacks, defenses, presets")
+    return parser
+
+
+def _home_config(name: str, seed: int):
+    from .home import fig2_home, fig6_home, home_a, home_b, random_home
+
+    return {
+        "home-a": home_a,
+        "home-b": home_b,
+        "fig2": fig2_home,
+        "fig6": fig6_home,
+        "random": lambda: random_home(seed),
+    }[name]()
+
+
+def _load_or_simulate(args):
+    from .datasets import load_trace_csv
+    from .home import simulate_home
+
+    if getattr(args, "trace", None):
+        return load_trace_csv(args.trace), None
+    sim = simulate_home(_home_config(args.home, args.seed), args.days, rng=args.seed)
+    return sim.metered, sim
+
+
+def cmd_simulate(args) -> int:
+    from .datasets import save_trace_csv
+    from .home import simulate_home
+
+    sim = simulate_home(_home_config(args.home, args.seed), args.days, rng=args.seed)
+    save_trace_csv(sim.metered, args.out)
+    print(f"simulated {args.home} for {args.days} days "
+          f"({sim.metered.energy_kwh():.1f} kWh, peak {sim.metered.max():.0f} W)")
+    print(f"metered trace written to {args.out}")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from .core import occupancy_privacy
+
+    trace, sim = _load_or_simulate(args)
+    if sim is None:
+        print("note: external trace has no ground truth; simulating "
+              f"{args.home} instead for a scored demonstration")
+        from .home import simulate_home
+
+        sim = simulate_home(_home_config(args.home, args.seed), args.days, rng=args.seed)
+        trace = sim.metered
+    score = occupancy_privacy(trace, sim.occupancy)
+    print("NIOM ensemble on the metered trace:")
+    for name, mcc in score.per_detector_mcc.items():
+        acc = score.per_detector_accuracy[name]
+        print(f"  {name:14s} mcc {mcc:+.3f}  accuracy {acc:.2%}")
+    print(f"worst case: mcc {score.worst_case_mcc:+.3f}")
+    return 0
+
+
+def cmd_defend(args) -> int:
+    from .core import evaluate_defense_outcome, make_defense, occupancy_privacy
+    from .home import simulate_home
+
+    sim = simulate_home(_home_config(args.home, args.seed), args.days, rng=args.seed)
+    before = occupancy_privacy(sim.metered, sim.occupancy)
+    defense = make_defense(args.defense)
+    outcome = defense.apply(sim.metered, np.random.default_rng(args.seed))
+    point = evaluate_defense_outcome(args.defense, outcome, sim.metered, sim.occupancy)
+    print(f"defense: {args.defense}")
+    print(f"  attack mcc: {before.worst_case_mcc:.3f} -> "
+          f"{point.privacy.worst_case_mcc:.3f}")
+    print(f"  utility: {point.utility.composite():.2f}")
+    print(f"  extra energy: {point.extra_energy_kwh:+.1f} kWh")
+    return 0
+
+
+def cmd_localize(args) -> int:
+    from .datasets import load_trace_csv
+    from .solar import (
+        LatLon,
+        SolarSite,
+        SunSpot,
+        WeatherField,
+        Weatherman,
+        WeatherStationDB,
+        simulate_generation,
+    )
+
+    truth = LatLon(args.lat, args.lon)
+    weather = WeatherField()
+    if args.trace:
+        trace = load_trace_csv(args.trace)
+    else:
+        print(f"simulating {args.days} days of generation at "
+              f"({truth.lat:.2f}, {truth.lon:.2f})...")
+        trace = simulate_generation(SolarSite("cli", truth), args.days, 60.0, weather, rng=args.seed)
+    if args.method in ("sunspot", "both"):
+        result = SunSpot().localize(trace)
+        print(f"SunSpot:    ({result.estimate.lat:.3f}, {result.estimate.lon:.3f}) "
+              f"— {result.error_km(truth):.1f} km from the stated truth")
+    if args.method in ("weatherman", "both"):
+        stations = WeatherStationDB(weather)
+        hourly = trace.resample(3600.0) if trace.period_s < 3600.0 else trace
+        result = Weatherman(stations).localize(hourly)
+        print(f"Weatherman: ({result.estimate.lat:.3f}, {result.estimate.lon:.3f}) "
+              f"— {result.error_km(truth):.1f} km from the stated truth")
+    return 0
+
+
+def cmd_knob(args) -> int:
+    from .core import PrivacyKnob, sweep_knob
+    from .home import home_b, simulate_home
+
+    sim = simulate_home(home_b(), args.days, rng=args.seed)
+    settings = np.linspace(0.0, 1.0, args.steps)
+    points = sweep_knob(PrivacyKnob(), sim.metered, sim.occupancy, settings, rng=args.seed)
+    print(f"{'knob':>6s} {'attack_mcc':>11s} {'utility':>8s} {'extra_kwh':>10s}")
+    for setting, point in zip(settings, points):
+        print(f"{setting:6.2f} {point.privacy.worst_case_mcc:11.3f} "
+              f"{point.utility.composite():8.2f} {point.extra_energy_kwh:10.1f}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    from .core import defense_names, niom_attack_names
+
+    print("home presets:   home-a, home-b, fig2, fig6, random")
+    print(f"niom attacks:   {', '.join(niom_attack_names())}")
+    print(f"defenses:       {', '.join(defense_names())}")
+    print("solar attacks:  sunspot, weatherman (see 'localize')")
+    return 0
+
+
+COMMANDS = {
+    "simulate": cmd_simulate,
+    "attack": cmd_attack,
+    "defend": cmd_defend,
+    "localize": cmd_localize,
+    "knob": cmd_knob,
+    "info": cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Core: evaluation pipeline, privacy knob, and registries."""
+
+from .evaluation import (
+    DEFAULT_DETECTORS,
+    PrivacyScore,
+    TradeoffPoint,
+    UtilityScore,
+    analytics_utility,
+    evaluate_defense_outcome,
+    occupancy_privacy,
+)
+from .knob import KnobStage, PrivacyKnob, sweep_knob
+from .pipeline import PipelineResult, run_pipeline
+from .registry import (
+    RegistryError,
+    defense_names,
+    make_defense,
+    make_niom_attack,
+    niom_attack_names,
+    register_defense,
+    register_niom_attack,
+)
+
+__all__ = [
+    "DEFAULT_DETECTORS",
+    "PrivacyScore",
+    "TradeoffPoint",
+    "UtilityScore",
+    "analytics_utility",
+    "evaluate_defense_outcome",
+    "occupancy_privacy",
+    "KnobStage",
+    "PrivacyKnob",
+    "sweep_knob",
+    "PipelineResult",
+    "run_pipeline",
+    "RegistryError",
+    "defense_names",
+    "make_defense",
+    "make_niom_attack",
+    "niom_attack_names",
+    "register_defense",
+    "register_niom_attack",
+]

@@ -1,0 +1,162 @@
+"""User-controllable privacy: the tunable knob of Sec. III-E.
+
+The paper's closing proposal: "an abstract 'knob' that is controlled by
+users and represents their privacy preferences: the knob can be adjusted to
+tradeoff the loss of privacy ... with the value or utility offered by the
+service".  The existing defenses sit at *discrete* points of that tradeoff;
+the knob interpolates between them by scaling a defense's strength with a
+single setting in [0, 1].
+
+:class:`PrivacyKnob` maps a knob setting to a configured defense stack and
+:func:`sweep_knob` traces the resulting privacy-utility frontier, which is
+the ``sec3-frontier`` experiment of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..defenses.base import DefenseOutcome, TraceDefense
+from ..defenses.battery import BatteryConfig, NILLDefense
+from ..defenses.dp import DPConfig, LaplaceReleaseDefense
+from ..defenses.smoothing import CoarseningDefense, NoiseInjectionDefense
+from ..timeseries import BinaryTrace, PowerTrace
+from .evaluation import DEFAULT_DETECTORS, TradeoffPoint, evaluate_defense_outcome
+
+
+@dataclass(frozen=True)
+class KnobStage:
+    """One stage of the knob's defense stack with its activation range.
+
+    The stage is active once the knob exceeds ``from_setting``; its own
+    strength parameter ramps linearly from there to setting = 1.
+    """
+
+    name: str
+    from_setting: float
+
+    def local_strength(self, setting: float) -> float:
+        if setting <= self.from_setting:
+            return 0.0
+        return (setting - self.from_setting) / (1.0 - self.from_setting)
+
+
+class PrivacyKnob:
+    """Maps a user's knob setting in [0, 1] to a defense pipeline.
+
+    The default staging mirrors how aggressively each mechanism degrades
+    analytics: first *coarsen* the reporting interval (cheap, mild), then
+    *noise* the readings, then *battery-level* the signal (strong).  At
+    setting 0 the trace passes through untouched; at 1 everything runs at
+    full strength.
+    """
+
+    def __init__(
+        self,
+        battery: BatteryConfig | None = None,
+        max_report_period_s: float = 3600.0,
+        max_noise_w: float = 400.0,
+        base_period_s: float = 60.0,
+    ) -> None:
+        if not 0 < base_period_s <= max_report_period_s:
+            raise ValueError("invalid period configuration")
+        self.battery = battery or BatteryConfig()
+        self.max_report_period_s = max_report_period_s
+        self.max_noise_w = max_noise_w
+        self.base_period_s = base_period_s
+        self.stages = (
+            KnobStage("coarsen", 0.0),
+            KnobStage("noise", 0.35),
+            KnobStage("battery", 0.65),
+        )
+
+    def defenses_for(self, setting: float) -> list[TraceDefense]:
+        """The configured defense stack for a knob setting."""
+        if not 0.0 <= setting <= 1.0:
+            raise ValueError("knob setting must be in [0, 1]")
+        stack: list[TraceDefense] = []
+        coarsen, noise, battery = self.stages
+        s = coarsen.local_strength(setting)
+        if s > 0:
+            # report period grows geometrically from base to max, snapped to
+            # clean divisors of an hour so downstream hourly analytics and
+            # further resampling always line up
+            ratio = self.max_report_period_s / self.base_period_s
+            period = self.base_period_s * ratio**s
+            candidates = [
+                p
+                for p in (60.0, 120.0, 180.0, 300.0, 600.0, 900.0, 1800.0, 3600.0)
+                if self.base_period_s <= p <= self.max_report_period_s
+                and p % self.base_period_s == 0
+            ]
+            if candidates:
+                period = min(candidates, key=lambda p: abs(p - period))
+                if period > self.base_period_s:
+                    stack.append(CoarseningDefense(report_period_s=period))
+        s = noise.local_strength(setting)
+        if s > 0:
+            stack.append(NoiseInjectionDefense(std_w=self.max_noise_w * s))
+        s = battery.local_strength(setting)
+        if s > 0:
+            scaled = BatteryConfig(
+                capacity_wh=self.battery.capacity_wh * s,
+                max_charge_w=self.battery.max_charge_w,
+                max_discharge_w=self.battery.max_discharge_w,
+                efficiency=self.battery.efficiency,
+            )
+            stack.append(NILLDefense(battery=scaled))
+        return stack
+
+    def apply(
+        self,
+        true_load: PowerTrace,
+        setting: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> DefenseOutcome:
+        """Run the stack; later stages see earlier stages' output."""
+        rng = np.random.default_rng(rng)
+        visible = true_load
+        extra_kwh = 0.0
+        comfort = 0.0
+        for defense in self.defenses_for(setting):
+            outcome = defense.apply(visible, rng)
+            visible = outcome.visible
+            extra_kwh += outcome.extra_energy_kwh
+            comfort = max(comfort, outcome.comfort_violation_fraction)
+        reference = (
+            true_load
+            if abs(visible.period_s - true_load.period_s) < 1e-9
+            else true_load.resample(visible.period_s)
+        )
+        distortion = TraceDefense._distortion(visible, reference)
+        return DefenseOutcome(
+            visible=visible,
+            extra_energy_kwh=extra_kwh,
+            comfort_violation_fraction=comfort,
+            utility_distortion=distortion,
+        )
+
+
+def sweep_knob(
+    knob: PrivacyKnob,
+    true_load: PowerTrace,
+    occupancy: BinaryTrace,
+    settings: np.ndarray | list[float] | None = None,
+    rng: np.random.Generator | int | None = None,
+    detectors=DEFAULT_DETECTORS,
+) -> list[TradeoffPoint]:
+    """Trace the privacy-utility frontier across knob settings."""
+    rng = np.random.default_rng(rng)
+    if settings is None:
+        settings = np.linspace(0.0, 1.0, 6)
+    points = []
+    for setting in settings:
+        outcome = knob.apply(true_load, float(setting), rng)
+        points.append(
+            evaluate_defense_outcome(
+                f"knob={setting:.2f}", outcome, true_load, occupancy, detectors
+            )
+        )
+    return points

@@ -1,0 +1,79 @@
+"""Name-based registries for attacks and defenses.
+
+Benchmarks, the knob, and downstream users refer to attacks/defenses by
+name; the registries make the set extensible without touching benchmark
+code (register your own, then sweep it alongside the built-ins).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..attacks.niom import ClusterNIOM, HMMNIOM, ThresholdNIOM
+from ..defenses.base import TraceDefense
+from ..defenses.battery import NILLDefense, SteppedDefense
+from ..defenses.dp import LaplaceReleaseDefense
+from ..defenses.smoothing import (
+    CoarseningDefense,
+    NoiseInjectionDefense,
+    SmoothingDefense,
+)
+
+_DEFENSES: dict[str, Callable[[], TraceDefense]] = {}
+_NIOM_ATTACKS: dict[str, Callable[[], object]] = {}
+
+
+class RegistryError(KeyError):
+    """Unknown or duplicate registry name."""
+
+
+def register_defense(name: str, factory: Callable[[], TraceDefense]) -> None:
+    """Register a defense factory under a unique name."""
+    if name in _DEFENSES:
+        raise RegistryError(f"defense {name!r} already registered")
+    _DEFENSES[name] = factory
+
+
+def make_defense(name: str) -> TraceDefense:
+    if name not in _DEFENSES:
+        raise RegistryError(
+            f"unknown defense {name!r}; available: {sorted(_DEFENSES)}"
+        )
+    return _DEFENSES[name]()
+
+
+def defense_names() -> list[str]:
+    return sorted(_DEFENSES)
+
+
+def register_niom_attack(name: str, factory: Callable[[], object]) -> None:
+    """Register a NIOM detector factory under a unique name."""
+    if name in _NIOM_ATTACKS:
+        raise RegistryError(f"attack {name!r} already registered")
+    _NIOM_ATTACKS[name] = factory
+
+
+def make_niom_attack(name: str):
+    if name not in _NIOM_ATTACKS:
+        raise RegistryError(
+            f"unknown attack {name!r}; available: {sorted(_NIOM_ATTACKS)}"
+        )
+    return _NIOM_ATTACKS[name]()
+
+
+def niom_attack_names() -> list[str]:
+    return sorted(_NIOM_ATTACKS)
+
+
+# built-ins
+register_defense("nill", lambda: NILLDefense())
+register_defense("stepped", lambda: SteppedDefense())
+register_defense("dp-laplace", lambda: LaplaceReleaseDefense())
+register_defense("smoothing", lambda: SmoothingDefense())
+register_defense("coarsening", lambda: CoarseningDefense())
+register_defense("noise", lambda: NoiseInjectionDefense())
+
+register_niom_attack("threshold-15m", lambda: ThresholdNIOM())
+register_niom_attack("threshold-60m", lambda: ThresholdNIOM(window_s=3600.0))
+register_niom_attack("cluster", lambda: ClusterNIOM(rng=0))
+register_niom_attack("hmm", lambda: HMMNIOM(rng=0))

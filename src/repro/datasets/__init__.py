@@ -1,0 +1,20 @@
+"""Seeded synthetic datasets and trace I/O."""
+
+from .builders import (
+    fig1_dataset,
+    fig2_dataset,
+    fig5_dataset,
+    fig6_dataset,
+    population_dataset,
+)
+from .io import load_trace_csv, save_trace_csv
+
+__all__ = [
+    "fig1_dataset",
+    "fig2_dataset",
+    "fig5_dataset",
+    "fig6_dataset",
+    "population_dataset",
+    "load_trace_csv",
+    "save_trace_csv",
+]

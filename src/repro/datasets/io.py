@@ -1,0 +1,57 @@
+"""CSV import/export for power traces.
+
+Lets users bring their own AMI exports (or public datasets like REDD/
+Dataport, converted to two-column CSV) into the attack/defense pipeline,
+and ship simulator output to other tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..timeseries import PowerTrace, TraceError
+
+HEADER = ("time_s", "power_w")
+
+
+def save_trace_csv(trace: PowerTrace, path: str | Path) -> None:
+    """Write a trace as ``time_s,power_w`` rows with a header."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(HEADER)
+        for t, v in zip(trace.times(), trace.values):
+            writer.writerow([f"{t:.3f}", f"{v:.3f}"])
+
+
+def load_trace_csv(path: str | Path, unit: str = "W") -> PowerTrace:
+    """Read a trace written by :func:`save_trace_csv` (or compatible).
+
+    The file must have a header row and evenly spaced timestamps.
+    """
+    path = Path(path)
+    times: list[float] = []
+    values: list[float] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [h.strip() for h in header[:2]] != list(HEADER):
+            raise TraceError(f"{path}: expected header {HEADER}")
+        for row_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                times.append(float(row[0]))
+                values.append(float(row[1]))
+            except (ValueError, IndexError) as exc:
+                raise TraceError(f"{path}:{row_number}: bad row {row!r}") from exc
+    if len(values) < 2:
+        raise TraceError(f"{path}: need at least two samples")
+    diffs = np.diff(times)
+    period = float(np.median(diffs))
+    if np.any(np.abs(diffs - period) > 1e-3 * period):
+        raise TraceError(f"{path}: timestamps are not evenly spaced")
+    return PowerTrace(np.asarray(values), period, times[0], unit)

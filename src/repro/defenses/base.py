@@ -1,0 +1,61 @@
+"""Common defense interface.
+
+Sec. III of the paper surveys defenses that transform what leaves the home:
+obfuscation (CHPr, batteries), differential privacy, cryptographic billing,
+and local services.  They share a shape — given the home's true demand (and
+sometimes a physical resource), produce the externally visible trace — so
+all defenses implement :class:`TraceDefense` and report their operating
+cost, which is what the paper's privacy/functionality/cost tradeoff needs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..timeseries import PowerTrace
+
+
+@dataclass(frozen=True)
+class DefenseOutcome:
+    """What a defense produced.
+
+    Attributes
+    ----------
+    visible:
+        The trace the meter now reports (what the adversary sees).
+    extra_energy_kwh:
+        Additional energy consumed by the defense itself (0 for free
+        defenses like CHPr, positive for battery losses or noise loads).
+    comfort_violation_fraction:
+        Fraction of time a physical constraint (e.g. hot-water delivery)
+        was violated; a usable defense keeps this near zero.
+    utility_distortion:
+        Mean absolute difference (W) between the visible trace and the true
+        one — a proxy for how much legitimate grid analytics are damaged.
+    """
+
+    visible: PowerTrace
+    extra_energy_kwh: float = 0.0
+    comfort_violation_fraction: float = 0.0
+    utility_distortion: float = 0.0
+
+
+class TraceDefense(ABC):
+    """A transformation of the home's metered view."""
+
+    #: human-readable identifier used by the registry and the knob
+    name: str = "defense"
+
+    @abstractmethod
+    def apply(
+        self, true_load: PowerTrace, rng: np.random.Generator | int | None = None
+    ) -> DefenseOutcome:
+        """Produce the externally visible trace for the given true load."""
+
+    @staticmethod
+    def _distortion(visible: PowerTrace, true_load: PowerTrace) -> float:
+        n = min(len(visible), len(true_load))
+        return float(np.abs(visible.values[:n] - true_load.values[:n]).mean())

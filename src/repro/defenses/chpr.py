@@ -1,0 +1,221 @@
+"""CHPr — Combined Heat and Privacy (Chen et al., PerCom'14, ref. [25]).
+
+The Fig. 6 defense: an electric water heater must inject roughly the same
+thermal energy every day regardless of *when*, so its controller can
+reschedule heating to mask the occupancy side-channel at (nearly) zero
+cost.  Concretely, NIOM keys on periods of low, flat demand; CHPr watches
+the rest-of-home load and, whenever it looks unoccupied, heats water in
+bursty on/off patterns that mimic interactive appliance activity — storing
+the heat in the tank.  When the home is genuinely busy the heater stays
+quiet, recovering tank headroom.
+
+Physical honesty is enforced by the shared tank model
+(:class:`repro.home.waterheater.WaterHeaterTank`): the controller cannot
+inject energy into a full tank, must keep delivery temperature above the
+comfort minimum, and must serve the household's actual hot-water draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..home.household import WATER_HEATER_NAME, HomeSimulation
+from ..home.waterheater import WaterHeaterConfig, WaterHeaterTank, thermostat_power
+from ..timeseries import PowerTrace
+from .base import DefenseOutcome
+
+
+@dataclass(frozen=True)
+class CHPrConfig:
+    """Controller parameters.
+
+    ``target_mean_w`` / ``target_std_w`` describe what "occupied-looking"
+    demand is; CHPr injects heater load whenever the rest-of-home signal
+    falls below both.  Bursts are randomized in length and level so the
+    injected signal has the variance NIOM looks for, not just the level.
+    """
+
+    window_s: float = 900.0
+    target_mean_w: float = 450.0
+    target_std_w: float = 150.0
+    # masked windows get their mean raised by a draw from this range,
+    # mimicking the spread of genuinely busy windows
+    mask_mean_range_w: tuple[float, float] = (250.0, 900.0)
+    burst_power_fraction: tuple[float, float] = (0.45, 1.0)
+    comfort_margin_c: float = 3.0
+    headroom_margin_c: float = 0.5
+    # Mask only waking hours: an idle signal overnight reads as "occupants
+    # asleep" whether or not anyone is home, so spending tank budget there
+    # is wasted.  This is how a 50-gal tank stretches to cover a full day.
+    mask_start_hour: float = 6.5
+    mask_end_hour: float = 23.5
+    # Optional fixed daily preheat windows ahead of the morning/evening
+    # draw peaks.  Because they run at the same clock time every day,
+    # occupied or not, they carry no occupancy information.  They trade
+    # masking budget for comfort margin; off by default because the
+    # masking bursts themselves keep the tank warm enough in practice.
+    preheat_hours: tuple[tuple[float, float], ...] = ()
+    # Preheat only up to min_delivery + this buffer (NOT to setpoint):
+    # enough margin to absorb a shower, while leaving the tank headroom
+    # that funds masking bursts.
+    preheat_buffer_c: float = 14.0
+
+    def __post_init__(self) -> None:
+        if self.target_mean_w <= 0 or self.target_std_w <= 0:
+            raise ValueError("targets must be positive")
+        if not 0.0 <= self.mask_start_hour < self.mask_end_hour <= 24.0:
+            raise ValueError("invalid masking hours")
+        for lo, hi in (self.mask_mean_range_w, self.burst_power_fraction):
+            if lo <= 0 or hi < lo:
+                raise ValueError("invalid (lo, hi) range")
+
+
+class CHPrController:
+    """Streaming controller: decides heater power sample by sample."""
+
+    def __init__(
+        self,
+        heater: WaterHeaterConfig,
+        config: CHPrConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        # CHPr modulates the heating rate, so force a modulating element
+        self.heater = WaterHeaterConfig(
+            tank_liters=heater.tank_liters,
+            element_power_w=heater.element_power_w,
+            setpoint_c=heater.setpoint_c,
+            deadband_c=heater.deadband_c,
+            inlet_c=heater.inlet_c,
+            ambient_c=heater.ambient_c,
+            min_delivery_c=heater.min_delivery_c,
+            standby_loss_w_per_k=heater.standby_loss_w_per_k,
+            modulating=True,
+        )
+        self.config = config or CHPrConfig()
+        self._rng = np.random.default_rng(rng)
+
+    def control(
+        self, rest_of_home: PowerTrace, draws: np.ndarray
+    ) -> tuple[np.ndarray, WaterHeaterTank]:
+        """Compute per-sample heater power for the whole horizon.
+
+        ``rest_of_home`` is everything the meter sees except the heater;
+        ``draws`` is the hot-water demand (liters per sample).
+
+        The controller works window by window on the same cadence a NIOM
+        detector does: for every *quiet* window (low mean, low variance —
+        what the attacker reads as "unoccupied") inside the masking hours,
+        it injects a heater burst sized so the window's statistics land in
+        the distribution of genuinely busy windows.  Burst energy is
+        bounded by the tank's thermal headroom, so the masking budget is
+        exactly the heat the household will consume anyway.
+        """
+        if len(draws) != len(rest_of_home):
+            raise ValueError("draws and load must have equal length")
+        cfg = self.config
+        period = rest_of_home.period_s
+        tank = WaterHeaterTank(self.heater)
+        samples_per_window = max(1, int(cfg.window_s / period))
+        window_h = cfg.window_s / 3600.0
+
+        values = rest_of_home.values
+        hours = rest_of_home.hours_of_day()
+        n = len(values)
+        power = np.zeros(n)
+
+        plan_power = 0.0  # requested burst level for the current window
+        plan_start = 0
+        plan_end = 0
+        for i in range(n):
+            if i % samples_per_window == 0:
+                plan_power = 0.0
+                w = values[i : i + samples_per_window]
+                quiet = (
+                    cfg.mask_start_hour <= hours[i] < cfg.mask_end_hour
+                    and w.mean() < cfg.target_mean_w
+                    and w.std() < cfg.target_std_w
+                )
+                headroom_kwh = (
+                    (self.heater.setpoint_c - cfg.headroom_margin_c - tank.temp_c)
+                    * self.heater.thermal_mass_j_per_k
+                    / 3.6e6
+                )
+                if quiet and headroom_kwh > 0.02:
+                    # target window mean drawn from the busy-window range,
+                    # but paced so the tank's remaining headroom lasts the
+                    # whole masking day: an unpaced controller burns the
+                    # budget by mid-morning and leaves every afternoon
+                    # window visibly idle
+                    remaining_h = max(1.0, cfg.mask_end_hour - hours[i])
+                    pacing_kwh = headroom_kwh * (window_h / remaining_h) * 2.0
+                    target_add_w = self._rng.uniform(*cfg.mask_mean_range_w)
+                    energy_kwh = min(
+                        target_add_w * window_h / 1000.0, pacing_kwh, headroom_kwh
+                    )
+                    lo, hi = cfg.burst_power_fraction
+                    level = self.heater.element_power_w * self._rng.uniform(lo, hi)
+                    burst_samples = max(
+                        1, int(round(energy_kwh * 3.6e6 / level / period))
+                    )
+                    burst_samples = min(burst_samples, samples_per_window)
+                    offset = int(
+                        self._rng.integers(0, samples_per_window - burst_samples + 1)
+                    )
+                    plan_power = level
+                    plan_start = i + offset
+                    plan_end = plan_start + burst_samples
+
+            must_heat = tank.temp_c <= self.heater.min_delivery_c + cfg.comfort_margin_c
+            preheat_target = min(
+                self.heater.min_delivery_c + cfg.preheat_buffer_c,
+                self.heater.setpoint_c - self.heater.deadband_c,
+            )
+            preheating = (
+                any(lo <= hours[i] < hi for lo, hi in cfg.preheat_hours)
+                and tank.temp_c < preheat_target
+            )
+            if must_heat or preheating:
+                requested = self.heater.element_power_w
+            elif plan_start <= i < plan_end:
+                requested = plan_power
+            else:
+                requested = 0.0
+            power[i] = tank.step(period, float(draws[i]), requested)
+        return power, tank
+
+
+def apply_chpr(
+    sim: HomeSimulation,
+    config: CHPrConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> DefenseOutcome:
+    """Re-run a simulated home's water heater under CHPr control.
+
+    Returns the CHPr-metered view (rest of home + CHPr heater) along with
+    the extra energy relative to the baseline thermostat and any comfort
+    violations.  Requires the home to have been simulated with a water
+    heater (:func:`repro.home.presets.fig6_home`).
+    """
+    if sim.hot_water_draws is None or sim.config.water_heater is None:
+        raise ValueError("home was not simulated with a water heater")
+    rest = sim.aggregate_without(WATER_HEATER_NAME)
+    controller = CHPrController(sim.config.water_heater, config, rng)
+    chpr_power, tank = controller.control(rest, sim.hot_water_draws)
+
+    baseline_power, _ = thermostat_power(
+        sim.hot_water_draws, rest.period_s, sim.config.water_heater
+    )
+    visible_true = rest.with_values(rest.values + chpr_power)
+    from ..home.meter import SmartMeter
+
+    metered = SmartMeter(sim.config.meter).observe(visible_true, rng)
+    period_h = rest.period_s / 3600.0
+    extra_kwh = float((chpr_power.sum() - baseline_power.sum()) * period_h / 1000.0)
+    return DefenseOutcome(
+        visible=metered,
+        extra_energy_kwh=extra_kwh,
+        comfort_violation_fraction=tank.comfort_violation_fraction,
+        utility_distortion=float(np.abs(chpr_power - baseline_power).mean()),
+    )

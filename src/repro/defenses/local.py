@@ -1,0 +1,129 @@
+"""Local IoT services (Sec. III-D): keep the data, ship the model.
+
+The principle behind the cryptographic approach generalized: if raw data
+never leaves the home, there is nothing for the cloud to mine.  The local
+hub stores the fine-grained trace, runs analytics *locally* (including
+models the cloud ships down), and exposes only coarse, purpose-limited
+aggregates.  The privacy claim is testable: the shared payload is too
+coarse for NIOM/NILM (see the test suite), while the hub still delivers
+the service's functionality (billing totals, schedule recommendations,
+locally evaluated cloud models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..timeseries import PowerTrace, SECONDS_PER_DAY, daily_profile
+
+
+@dataclass(frozen=True)
+class SharedPayload:
+    """Everything the hub is willing to send upstream.
+
+    Deliberately coarse: energy totals and a few-bin average daily shape
+    across the whole period — enough for billing and fleet analytics.  Note
+    the honest caveat: even an *average* daily profile leaks the
+    household's typical schedule (commute hours); what it cannot leak is
+    any specific day's occupancy — vacations, sick days, who was home last
+    Tuesday — which is the per-day information NIOM extracts from raw
+    traces.
+    """
+
+    total_energy_kwh: float
+    daily_energy_kwh: tuple[float, ...]
+    mean_daily_profile_w: tuple[float, ...]  # few bins, averaged over weeks
+
+    def as_trace(self) -> PowerTrace:
+        """The adversary's best reconstruction: the average daily profile
+        tiled over the reporting period (what an attacker would have to
+        run NIOM on)."""
+        days = max(1, len(self.daily_energy_kwh))
+        bins = len(self.mean_daily_profile_w)
+        values = np.tile(np.asarray(self.mean_daily_profile_w), days)
+        return PowerTrace(values, 86400.0 / bins, 0.0, "W")
+
+
+@dataclass
+class ScheduleRecommendation:
+    """A thermostat-style schedule derived locally."""
+
+    setback_start_hour: int
+    setback_end_hour: int
+    rationale: str
+
+
+class LocalAnalyticsHub:
+    """A home hub that owns the raw data and answers purpose-limited queries."""
+
+    def __init__(self, trace: PowerTrace) -> None:
+        if len(trace) == 0:
+            raise ValueError("empty trace")
+        self._trace = trace
+
+    # -- functionality the service still gets --------------------------------
+    def total_energy_kwh(self) -> float:
+        return self._trace.energy_kwh()
+
+    def bill_cents(self, cents_per_kwh: float) -> float:
+        """Billing needs only the total — computed locally."""
+        if cents_per_kwh < 0:
+            raise ValueError("tariff cannot be negative")
+        return self.total_energy_kwh() * cents_per_kwh
+
+    def recommend_schedule(self) -> ScheduleRecommendation:
+        """Derive a setback schedule from the local daily profile.
+
+        This is the smart-thermostat use case: the *insight* (when the home
+        is typically idle) is computed at home; only the resulting schedule
+        would ever need to leave.
+        """
+        profile = daily_profile(self._trace, bins_per_day=24)
+        threshold = 0.6 * float(np.median(profile[profile > 0])) if profile.any() else 0.0
+        idle = profile < threshold
+        # longest idle run between 6h and 22h
+        best_start, best_len = 8, 0
+        run_start, run_len = None, 0
+        for hour in range(6, 22):
+            if idle[hour]:
+                if run_start is None:
+                    run_start, run_len = hour, 0
+                run_len += 1
+                if run_len > best_len:
+                    best_start, best_len = run_start, run_len
+            else:
+                run_start = None
+        if best_len == 0:
+            best_start, best_len = 9, 7  # default workday setback
+        return ScheduleRecommendation(
+            setback_start_hour=best_start,
+            setback_end_hour=best_start + best_len,
+            rationale="locally computed idle window",
+        )
+
+    def evaluate_cloud_model(self, model, features: np.ndarray) -> np.ndarray:
+        """Run a cloud-shipped model locally (the transfer-learning path).
+
+        The model object comes from the cloud; the features come from local
+        data; only ``model.predict``'s *outputs* exist to be shared.
+        """
+        return model.predict(features)
+
+    # -- what actually leaves the home ---------------------------------------
+    def shared_payload(self) -> SharedPayload:
+        trace = self._trace
+        n_days = max(1, int(trace.duration_s // SECONDS_PER_DAY))
+        daily = []
+        for day in range(n_days):
+            t0 = trace.start_s + day * SECONDS_PER_DAY
+            try:
+                daily.append(trace.slice_time(t0, t0 + SECONDS_PER_DAY).energy_kwh())
+            except Exception:
+                break
+        return SharedPayload(
+            total_energy_kwh=trace.energy_kwh(),
+            daily_energy_kwh=tuple(daily),
+            mean_daily_profile_w=tuple(daily_profile(trace, 6)),
+        )

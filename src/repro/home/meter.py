@@ -1,0 +1,110 @@
+"""Smart meter models: what the utility (and hence the attacker) observes.
+
+Smart meters do not report the true instantaneous load: they average over a
+reporting interval, add measurement noise, and quantize.  Attacks in this
+package only ever see the *metered* trace, never the simulator's ground
+truth, mirroring the paper's threat model where the adversary is the cloud
+service / analytics company holding AMI data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timeseries import PowerTrace
+
+
+@dataclass(frozen=True)
+class MeterConfig:
+    """Smart-meter reporting characteristics.
+
+    Parameters
+    ----------
+    period_s:
+        Reporting interval (60 s in Figs. 1/2/6; ablations sweep this).
+    noise_std_w:
+        Gaussian measurement noise added per report.
+    quantum_w:
+        Reported values are rounded to this step (0 disables quantization).
+    dropout_probability:
+        Chance a report is lost and replaced by the previous value
+        (last-observation-carried-forward), as real AMI backhauls do.
+    """
+
+    period_s: float = 60.0
+    noise_std_w: float = 10.0
+    quantum_w: float = 1.0
+    dropout_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.noise_std_w < 0 or self.quantum_w < 0:
+            raise ValueError("noise and quantum must be non-negative")
+        if not 0.0 <= self.dropout_probability < 1.0:
+            raise ValueError("dropout_probability must be in [0, 1)")
+
+
+class SmartMeter:
+    """Applies a :class:`MeterConfig` to a ground-truth power trace."""
+
+    def __init__(self, config: MeterConfig | None = None) -> None:
+        self.config = config or MeterConfig()
+
+    def observe(
+        self, true_power: PowerTrace, rng: np.random.Generator | int | None = None
+    ) -> PowerTrace:
+        """Meter the true load: average to the reporting period, add noise,
+        quantize, and (optionally) drop reports."""
+        rng = np.random.default_rng(rng)
+        cfg = self.config
+        trace = true_power
+        if cfg.period_s > true_power.period_s:
+            trace = true_power.resample(cfg.period_s, reducer="mean")
+        elif cfg.period_s < true_power.period_s:
+            raise ValueError(
+                "meter period finer than simulation period; simulate finer"
+            )
+        values = trace.values.copy()
+        if cfg.noise_std_w > 0:
+            values += rng.normal(0.0, cfg.noise_std_w, len(values))
+        if cfg.dropout_probability > 0:
+            dropped = rng.uniform(size=len(values)) < cfg.dropout_probability
+            for i in np.flatnonzero(dropped):
+                if i > 0:
+                    values[i] = values[i - 1]
+        if cfg.quantum_w > 0:
+            values = np.round(values / cfg.quantum_w) * cfg.quantum_w
+        return trace.with_values(np.maximum(values, 0.0))
+
+
+class NetMeter(SmartMeter):
+    """Net meter for solar homes: reports consumption minus generation.
+
+    Net readings can be negative (export to the grid); this is what the
+    SunDance disaggregation attack (Sec. II-B) operates on.
+    """
+
+    def observe_net(
+        self,
+        consumption: PowerTrace,
+        generation: PowerTrace,
+        rng: np.random.Generator | int | None = None,
+    ) -> PowerTrace:
+        rng = np.random.default_rng(rng)
+        cfg = self.config
+        cons = consumption
+        gen = generation
+        if cfg.period_s > cons.period_s:
+            cons = cons.resample(cfg.period_s, reducer="mean")
+        if cfg.period_s > gen.period_s:
+            gen = gen.resample(cfg.period_s, reducer="mean")
+        net = cons - gen
+        values = net.values.copy()
+        if cfg.noise_std_w > 0:
+            values += rng.normal(0.0, cfg.noise_std_w, len(values))
+        if cfg.quantum_w > 0:
+            values = np.round(values / cfg.quantum_w) * cfg.quantum_w
+        return net.with_values(values)

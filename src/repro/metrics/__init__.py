@@ -1,0 +1,21 @@
+"""Domain metrics used across the experiments.
+
+Thin, documented wrappers tying each paper metric to its implementation:
+MCC (Fig. 6), the disaggregation error factor (Fig. 2), and localization
+distance in km (Fig. 5).
+"""
+
+from ..attacks.nilm.common import disaggregation_error
+from ..ml.metrics import accuracy, f1_score, macro_f1, mcc, precision, recall
+from ..solar.geo import haversine_km
+
+__all__ = [
+    "disaggregation_error",
+    "accuracy",
+    "f1_score",
+    "macro_f1",
+    "mcc",
+    "precision",
+    "recall",
+    "haversine_km",
+]

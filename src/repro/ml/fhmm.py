@@ -1,0 +1,153 @@
+"""Factorial hidden Markov model for additive source separation.
+
+This is the conventional NILM baseline the paper compares PowerPlay against
+(Fig. 2, following Kolter & Johnson's REDD methodology, ref. [19]):
+each appliance is a hidden Markov chain over power levels, the observed
+aggregate is the sum of the chains' emissions plus meter noise, and the
+chains evolve independently.  Exact inference is performed on the product
+state space, which is tractable for the handful of appliances a household
+evaluation tracks (e.g. five appliances with 2-3 states each).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from .hmm import GaussianHMM, _LOG_EPS
+from .preprocessing import check_features
+
+_MAX_JOINT_STATES = 20000
+
+
+class FactorialHMM:
+    """Sum-of-chains HMM with exact Viterbi decoding on the joint space.
+
+    Parameters
+    ----------
+    chains:
+        Fitted single-feature :class:`GaussianHMM` instances, one per source.
+    noise_var:
+        Additional observation-noise variance added to every joint state
+        (models smart-meter noise and untracked background load).
+    """
+
+    def __init__(self, chains: list[GaussianHMM], noise_var: float = 100.0) -> None:
+        if not chains:
+            raise ValueError("need at least one chain")
+        for chain in chains:
+            if chain.transmat_ is None:
+                raise ValueError("all chains must be fitted before composing")
+            if chain.means_.shape[1] != 1:
+                raise ValueError("FactorialHMM requires single-feature chains")
+        n_joint = int(np.prod([c.n_states for c in chains]))
+        if n_joint > _MAX_JOINT_STATES:
+            raise ValueError(
+                f"joint space has {n_joint} states (> {_MAX_JOINT_STATES}); "
+                "reduce chains or per-chain states"
+            )
+        if noise_var <= 0:
+            raise ValueError("noise_var must be positive")
+        self.chains = chains
+        self.noise_var = noise_var
+        self._joint_states = list(
+            itertools.product(*[range(c.n_states) for c in chains])
+        )
+        self._build_joint()
+
+    def _build_joint(self) -> None:
+        joint = self._joint_states
+        k = len(joint)
+        means = np.empty(k)
+        variances = np.empty(k)
+        startprob = np.empty(k)
+        for idx, combo in enumerate(joint):
+            means[idx] = sum(
+                float(c.means_[s, 0]) for c, s in zip(self.chains, combo)
+            )
+            variances[idx] = self.noise_var + sum(
+                float(c.variances_[s, 0]) for c, s in zip(self.chains, combo)
+            )
+            startprob[idx] = float(
+                np.prod([c.startprob_[s] for c, s in zip(self.chains, combo)])
+            )
+        startprob /= startprob.sum()
+        transmat = np.ones((k, k))
+        for i, combo_i in enumerate(joint):
+            for j, combo_j in enumerate(joint):
+                p = 1.0
+                for chain, si, sj in zip(self.chains, combo_i, combo_j):
+                    p *= float(chain.transmat_[si, sj])
+                transmat[i, j] = p
+        transmat /= transmat.sum(axis=1, keepdims=True)
+        self._means = means
+        self._variances = variances
+        self._startprob = startprob
+        self._transmat = transmat
+
+    @property
+    def n_joint_states(self) -> int:
+        return len(self._joint_states)
+
+    def _emission_logprob(self, aggregate: np.ndarray) -> np.ndarray:
+        diff = aggregate[:, None] - self._means[None, :]
+        return -0.5 * (
+            np.log(2.0 * np.pi * self._variances)[None, :]
+            + diff * diff / self._variances[None, :]
+        )
+
+    def decode(self, aggregate) -> np.ndarray:
+        """Viterbi decoding of the aggregate signal.
+
+        Returns an ``(n_samples, n_chains)`` array of per-chain states.
+        """
+        aggregate = check_features(aggregate)[:, 0]
+        log_b = self._emission_logprob(aggregate)
+        n, k = log_b.shape
+        log_pi = np.log(self._startprob + _LOG_EPS)
+        log_a = np.log(self._transmat + _LOG_EPS)
+        delta = log_pi + log_b[0]
+        backptr = np.zeros((n, k), dtype=int)
+        for t in range(1, n):
+            scores = delta[:, None] + log_a
+            backptr[t] = scores.argmax(axis=0)
+            delta = scores.max(axis=0) + log_b[t]
+        joint_path = np.empty(n, dtype=int)
+        joint_path[-1] = int(delta.argmax())
+        for t in range(n - 2, -1, -1):
+            joint_path[t] = backptr[t + 1, joint_path[t + 1]]
+        combos = np.asarray(self._joint_states)
+        return combos[joint_path]
+
+    def disaggregate(self, aggregate) -> np.ndarray:
+        """Per-chain power estimates, shape ``(n_samples, n_chains)``.
+
+        Each chain's estimate at time t is that chain's emission mean for
+        its decoded state.
+        """
+        states = self.decode(aggregate)
+        n, m = states.shape
+        powers = np.empty((n, m))
+        for j, chain in enumerate(self.chains):
+            powers[:, j] = chain.means_[states[:, j], 0]
+        return np.maximum(powers, 0.0)
+
+
+def fit_appliance_chain(
+    power: np.ndarray,
+    n_states: int = 2,
+    rng: np.random.Generator | int | None = None,
+) -> GaussianHMM:
+    """Learn one appliance's HMM chain from its (training) power signal."""
+    power = np.asarray(power, dtype=float).reshape(-1, 1)
+    chain = GaussianHMM(n_states, rng=rng)
+    chain.fit(power)
+    # Order states by mean power so state 0 is always "most off"; this keeps
+    # decoded chains comparable across training runs.
+    order = np.argsort(chain.means_[:, 0])
+    chain.means_ = chain.means_[order]
+    chain.variances_ = chain.variances_[order]
+    chain.startprob_ = chain.startprob_[order]
+    chain.transmat_ = chain.transmat_[np.ix_(order, order)]
+    return chain

@@ -1,0 +1,287 @@
+"""Gaussian hidden Markov models.
+
+Implements a diagonal-covariance Gaussian-emission HMM with log-space
+forward/backward, Viterbi decoding, and Baum-Welch (EM) parameter learning.
+This is the workhorse behind the HMM-based NIOM occupancy detector and the
+per-appliance chains composed by the factorial HMM NILM baseline
+(:mod:`repro.ml.fhmm`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from .kmeans import KMeans
+from .preprocessing import check_features
+
+_LOG_EPS = 1e-300
+_MIN_VAR = 1e-6
+
+
+def _log_gaussian(X: np.ndarray, means: np.ndarray, variances: np.ndarray) -> np.ndarray:
+    """Log density of each row of X under each diagonal Gaussian.
+
+    Returns an ``(n_samples, n_states)`` matrix.
+    """
+    n, d = X.shape
+    k = len(means)
+    out = np.empty((n, k))
+    for j in range(k):
+        var = variances[j]
+        diff = X - means[j]
+        out[:, j] = -0.5 * (
+            d * np.log(2.0 * np.pi) + np.log(var).sum() + (diff * diff / var).sum(axis=1)
+        )
+    return out
+
+
+class GaussianHMM:
+    """HMM with diagonal-covariance Gaussian emissions.
+
+    Parameters
+    ----------
+    n_states:
+        Number of hidden states.
+    n_iter:
+        Maximum Baum-Welch iterations in :meth:`fit`.
+    tol:
+        EM convergence threshold on per-sample log-likelihood improvement.
+    rng:
+        Seed or Generator used for k-means initialization.
+
+    Attributes (after fitting or manual assignment)
+    ----------
+    startprob_:
+        Initial state distribution, shape ``(n_states,)``.
+    transmat_:
+        Row-stochastic transition matrix, shape ``(n_states, n_states)``.
+    means_:
+        Emission means, shape ``(n_states, n_features)``.
+    variances_:
+        Diagonal emission variances, same shape as ``means_``.
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        n_iter: int = 50,
+        tol: float = 1e-4,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_states < 1:
+            raise ValueError("n_states must be >= 1")
+        self.n_states = n_states
+        self.n_iter = n_iter
+        self.tol = tol
+        self._rng = np.random.default_rng(rng)
+        self.startprob_: np.ndarray | None = None
+        self.transmat_: np.ndarray | None = None
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Parameter handling
+    # ------------------------------------------------------------------
+    def set_parameters(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        means: np.ndarray,
+        variances: np.ndarray,
+    ) -> "GaussianHMM":
+        """Install parameters directly (used for hand-built models)."""
+        startprob = np.asarray(startprob, dtype=float)
+        transmat = np.asarray(transmat, dtype=float)
+        means = np.atleast_2d(np.asarray(means, dtype=float))
+        variances = np.atleast_2d(np.asarray(variances, dtype=float))
+        if startprob.shape != (self.n_states,):
+            raise ValueError("startprob has wrong shape")
+        if transmat.shape != (self.n_states, self.n_states):
+            raise ValueError("transmat has wrong shape")
+        if not np.allclose(startprob.sum(), 1.0, atol=1e-6):
+            raise ValueError("startprob must sum to 1")
+        if not np.allclose(transmat.sum(axis=1), 1.0, atol=1e-6):
+            raise ValueError("transmat rows must sum to 1")
+        if means.shape[0] != self.n_states or means.shape != variances.shape:
+            raise ValueError("means/variances have wrong shape")
+        if np.any(variances <= 0):
+            raise ValueError("variances must be positive")
+        self.startprob_ = startprob
+        self.transmat_ = transmat
+        self.means_ = means
+        self.variances_ = variances
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.transmat_ is None:
+            raise RuntimeError("HMM is not fitted")
+
+    def _emission_logprob(self, X: np.ndarray) -> np.ndarray:
+        return _log_gaussian(X, self.means_, self.variances_)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _scaled_emissions(self, log_b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Emission probabilities normalized per sample to avoid underflow.
+
+        Returns (b, shift) with ``b[t] = exp(log_b[t] - shift[t])``; the
+        shifts are added back when computing log-likelihoods.
+        """
+        shift = log_b.max(axis=1)
+        return np.exp(log_b - shift[:, None]), shift
+
+    def _forward_scaled(
+        self, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scaled forward pass: returns (alpha_hat, c) where alpha rows are
+        normalized to sum to one and ``c[t]`` is the normalizer."""
+        n, k = b.shape
+        alpha = np.empty((n, k))
+        c = np.empty(n)
+        a = self.transmat_
+        alpha[0] = self.startprob_ * b[0]
+        c[0] = max(alpha[0].sum(), _LOG_EPS)
+        alpha[0] /= c[0]
+        for t in range(1, n):
+            alpha[t] = (alpha[t - 1] @ a) * b[t]
+            c[t] = max(alpha[t].sum(), _LOG_EPS)
+            alpha[t] /= c[t]
+        return alpha, c
+
+    def _backward_scaled(self, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        n, k = b.shape
+        beta = np.empty((n, k))
+        beta[-1] = 1.0
+        a = self.transmat_
+        for t in range(n - 2, -1, -1):
+            beta[t] = (a @ (b[t + 1] * beta[t + 1])) / c[t + 1]
+        return beta
+
+    def log_likelihood(self, X) -> float:
+        """Log probability of the observation sequence under the model."""
+        self._check_fitted()
+        X = check_features(X)
+        b, shift = self._scaled_emissions(self._emission_logprob(X))
+        _, c = self._forward_scaled(b)
+        return float(np.log(c).sum() + shift.sum())
+
+    def posterior(self, X) -> np.ndarray:
+        """Per-sample state posteriors ``gamma``, shape ``(n, n_states)``."""
+        self._check_fitted()
+        X = check_features(X)
+        b, _ = self._scaled_emissions(self._emission_logprob(X))
+        alpha, c = self._forward_scaled(b)
+        beta = self._backward_scaled(b, c)
+        gamma = alpha * beta
+        gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), _LOG_EPS)
+        return gamma
+
+    def decode(self, X) -> np.ndarray:
+        """Viterbi: most likely state sequence for the observations."""
+        self._check_fitted()
+        X = check_features(X)
+        log_b = self._emission_logprob(X)
+        n, k = log_b.shape
+        log_pi = np.log(self.startprob_ + _LOG_EPS)
+        log_a = np.log(self.transmat_ + _LOG_EPS)
+        delta = log_pi + log_b[0]
+        backptr = np.zeros((n, k), dtype=int)
+        for t in range(1, n):
+            scores = delta[:, None] + log_a
+            backptr[t] = scores.argmax(axis=0)
+            delta = scores.max(axis=0) + log_b[t]
+        states = np.empty(n, dtype=int)
+        states[-1] = int(delta.argmax())
+        for t in range(n - 2, -1, -1):
+            states[t] = backptr[t + 1, states[t + 1]]
+        return states
+
+    def sample(
+        self, n_samples: int, rng: np.random.Generator | int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``(observations, states)`` from the model."""
+        self._check_fitted()
+        rng = np.random.default_rng(rng if rng is not None else self._rng)
+        d = self.means_.shape[1]
+        states = np.empty(n_samples, dtype=int)
+        obs = np.empty((n_samples, d))
+        state = rng.choice(self.n_states, p=self.startprob_)
+        for t in range(n_samples):
+            states[t] = state
+            obs[t] = rng.normal(self.means_[state], np.sqrt(self.variances_[state]))
+            state = rng.choice(self.n_states, p=self.transmat_[state])
+        return obs, states
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def _init_from_kmeans(self, X: np.ndarray) -> None:
+        km = KMeans(self.n_states, rng=self._rng).fit(X)
+        labels = km.predict(X)
+        d = X.shape[1]
+        means = np.empty((self.n_states, d))
+        variances = np.empty((self.n_states, d))
+        global_var = np.maximum(X.var(axis=0), _MIN_VAR)
+        for k in range(self.n_states):
+            members = X[labels == k]
+            if len(members):
+                means[k] = members.mean(axis=0)
+                variances[k] = np.maximum(members.var(axis=0), _MIN_VAR)
+            else:
+                means[k] = X[self._rng.integers(len(X))]
+                variances[k] = global_var
+        # Sticky transitions are the right prior for slowly varying
+        # physical processes (appliance and occupancy states persist).
+        transmat = np.full((self.n_states, self.n_states), 0.05 / max(self.n_states - 1, 1))
+        np.fill_diagonal(transmat, 0.95)
+        transmat /= transmat.sum(axis=1, keepdims=True)
+        self.set_parameters(
+            startprob=np.full(self.n_states, 1.0 / self.n_states),
+            transmat=transmat,
+            means=means,
+            variances=variances,
+        )
+
+    def fit(self, X) -> "GaussianHMM":
+        """Baum-Welch maximum-likelihood fit on a single sequence."""
+        X = check_features(X)
+        if len(X) < 2 * self.n_states:
+            raise ValueError("sequence too short to fit HMM")
+        if self.transmat_ is None:
+            self._init_from_kmeans(X)
+        prev_ll = -np.inf
+        n = len(X)
+        for _ in range(self.n_iter):
+            log_b = self._emission_logprob(X)
+            b, shift = self._scaled_emissions(log_b)
+            alpha, c = self._forward_scaled(b)
+            beta = self._backward_scaled(b, c)
+            ll = float(np.log(c).sum() + shift.sum())
+
+            gamma = alpha * beta
+            gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), _LOG_EPS)
+
+            # xi[t, i, j] ∝ alpha[t, i] a[i, j] b[t+1, j] beta[t+1, j];
+            # with scaled alpha/beta the normalizer per t is c[t+1]
+            bb = b[1:] * beta[1:]
+            xi_sum = (alpha[:-1] / c[1:, None]).T @ bb * self.transmat_
+
+            self.startprob_ = gamma[0] / gamma[0].sum()
+            transmat = xi_sum / np.maximum(xi_sum.sum(axis=1, keepdims=True), _LOG_EPS)
+            transmat = np.maximum(transmat, 1e-8)
+            self.transmat_ = transmat / transmat.sum(axis=1, keepdims=True)
+
+            weights = gamma.sum(axis=0)
+            means = (gamma.T @ X) / np.maximum(weights[:, None], _LOG_EPS)
+            variances = np.empty_like(means)
+            for k in range(self.n_states):
+                diff = X - means[k]
+                variances[k] = (gamma[:, k][:, None] * diff * diff).sum(axis=0)
+                variances[k] /= np.maximum(weights[k], _LOG_EPS)
+            self.means_ = means
+            self.variances_ = np.maximum(variances, _MIN_VAR)
+
+            if ll - prev_ll < self.tol * n and np.isfinite(prev_ll):
+                break
+            prev_ll = ll
+        return self

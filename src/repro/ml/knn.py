@@ -1,0 +1,43 @@
+"""k-nearest-neighbours classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .preprocessing import check_features, check_xy
+
+
+class KNeighborsClassifier:
+    """Majority vote over the ``k`` nearest training points (Euclidean)."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._X: np.ndarray | None = None
+        self._y_idx: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X, y = check_xy(X, y)
+        if len(X) < self.k:
+            raise ValueError(f"need at least k={self.k} training samples")
+        self.classes_, self._y_idx = np.unique(y, return_inverse=True)
+        self._X = X
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("kNN is not fitted")
+        X = check_features(X)
+        out = np.empty((len(X), len(self.classes_)))
+        for i, x in enumerate(X):
+            dists = ((self._X - x) ** 2).sum(axis=1)
+            nearest = np.argpartition(dists, self.k - 1)[: self.k]
+            votes = np.bincount(self._y_idx[nearest], minlength=len(self.classes_))
+            out[i] = votes / votes.sum()
+        return out
+
+    def predict(self, X):
+        proba = self.predict_proba(X)
+        return self.classes_[proba.argmax(axis=1)]

@@ -1,0 +1,62 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .preprocessing import check_features, check_xy
+
+_MIN_VAR = 1e-9
+
+
+class GaussianNB:
+    """Naive Bayes with per-class, per-feature Gaussian likelihoods."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing < 0:
+            raise ValueError("var_smoothing must be non-negative")
+        self.var_smoothing = var_smoothing
+        self.classes_: np.ndarray | None = None
+        self.priors_: np.ndarray | None = None
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "GaussianNB":
+        X, y = check_xy(X, y)
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        k, d = len(self.classes_), X.shape[1]
+        self.priors_ = np.bincount(y_idx, minlength=k) / len(y)
+        self.means_ = np.empty((k, d))
+        self.variances_ = np.empty((k, d))
+        smoothing = self.var_smoothing * X.var(axis=0).max() if len(X) > 1 else _MIN_VAR
+        for c in range(k):
+            members = X[y_idx == c]
+            self.means_[c] = members.mean(axis=0)
+            self.variances_[c] = np.maximum(members.var(axis=0) + smoothing, _MIN_VAR)
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty((len(X), len(self.classes_)))
+        for c in range(len(self.classes_)):
+            diff = X - self.means_[c]
+            out[:, c] = (
+                np.log(self.priors_[c] + 1e-300)
+                - 0.5 * np.log(2.0 * np.pi * self.variances_[c]).sum()
+                - 0.5 * (diff * diff / self.variances_[c]).sum(axis=1)
+            )
+        return out
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("GaussianNB is not fitted")
+        X = check_features(X)
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        proba = np.exp(jll)
+        return proba / proba.sum(axis=1, keepdims=True)
+
+    def predict(self, X):
+        if self.classes_ is None:
+            raise RuntimeError("GaussianNB is not fitted")
+        X = check_features(X)
+        return self.classes_[self._joint_log_likelihood(X).argmax(axis=1)]

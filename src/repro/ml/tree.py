@@ -1,0 +1,170 @@
+"""CART-style decision tree classifier.
+
+Used by the smart-gateway device fingerprinting attack/defense (Sec. IV):
+flow-level features are tabular and heterogeneous, which trees handle well
+without feature scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .preprocessing import check_features, check_xy
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a class distribution."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    class_counts: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class DecisionTreeClassifier:
+    """Binary CART tree with Gini impurity splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root is depth 0).
+    min_samples_split:
+        Do not split nodes smaller than this.
+    max_features:
+        If set, the number of features examined per split, sampled uniformly
+        without replacement (used by the random forest).
+    rng:
+        Seed or Generator for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        max_features: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self._rng = np.random.default_rng(rng)
+        self.classes_: np.ndarray | None = None
+        self._root: _Node | None = None
+
+    # ------------------------------------------------------------------
+    def _best_split(
+        self, X: np.ndarray, y_idx: np.ndarray, n_classes: int
+    ) -> tuple[int, float, float] | None:
+        """Best (feature, threshold, impurity_decrease) or None."""
+        n, d = X.shape
+        parent_counts = np.bincount(y_idx, minlength=n_classes)
+        parent_gini = _gini(parent_counts)
+        if self.max_features is not None and self.max_features < d:
+            features = self._rng.choice(d, size=self.max_features, replace=False)
+        else:
+            features = np.arange(d)
+        best: tuple[int, float, float] | None = None
+        for f in features:
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            ys = y_idx[order]
+            left_counts = np.zeros(n_classes)
+            right_counts = parent_counts.astype(float).copy()
+            for i in range(n - 1):
+                c = ys[i]
+                left_counts[c] += 1
+                right_counts[c] -= 1
+                if xs[i] == xs[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n - n_left
+                gain = parent_gini - (
+                    n_left / n * _gini(left_counts) + n_right / n * _gini(right_counts)
+                )
+                # zero-gain splits are allowed (CART convention): XOR-style
+                # interactions have zero marginal gain at the root yet
+                # separate perfectly one level down
+                if best is None or gain > best[2]:
+                    best = (int(f), float((xs[i] + xs[i + 1]) / 2.0), float(gain))
+        return best
+
+    def _build(self, X: np.ndarray, y_idx: np.ndarray, depth: int, n_classes: int) -> _Node:
+        counts = np.bincount(y_idx, minlength=n_classes)
+        node = _Node(class_counts=counts)
+        if (
+            depth >= self.max_depth
+            or len(y_idx) < self.min_samples_split
+            or counts.max() == len(y_idx)
+        ):
+            return node
+        split = self._best_split(X, y_idx, n_classes)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = X[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y_idx[mask], depth + 1, n_classes)
+        node.right = self._build(X[~mask], y_idx[~mask], depth + 1, n_classes)
+        return node
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X, y = check_xy(X, y)
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        self._root = self._build(X, y_idx, depth=0, n_classes=len(self.classes_))
+        return self
+
+    # ------------------------------------------------------------------
+    def _leaf_for(self, x: np.ndarray) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = check_features(X)
+        out = np.empty((len(X), len(self.classes_)))
+        for i, x in enumerate(X):
+            counts = self._leaf_for(x).class_counts
+            out[i] = counts / counts.sum()
+        return out
+
+    def predict(self, X):
+        proba = self.predict_proba(X)
+        return self.classes_[proba.argmax(axis=1)]
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return walk(self._root)

@@ -1,0 +1,56 @@
+"""IoT network privacy (Sec. IV): traffic simulation, attacks, gateway."""
+
+from .devices import PROFILES, Device, DeviceType, TrafficProfile
+from .fingerprint import (
+    FEATURE_NAMES,
+    DeviceFingerprinter,
+    FingerprintReport,
+    device_window_features,
+    flow_features,
+)
+from .flows import Direction, Flow, FlowLog
+from .gateway import (
+    DeviceBaseline,
+    GatewayPolicy,
+    GatewayReport,
+    SmartGateway,
+    Verdict,
+)
+from .lan import LanConfig, LanSimulation, simulate_lan
+from .shaping import ShapingConfig, ShapingReport, TrafficShaper
+from .threats import (
+    Compromise,
+    CompromiseKind,
+    inject_compromise,
+    occupancy_from_traffic,
+)
+
+__all__ = [
+    "PROFILES",
+    "Device",
+    "DeviceType",
+    "TrafficProfile",
+    "FEATURE_NAMES",
+    "DeviceFingerprinter",
+    "FingerprintReport",
+    "device_window_features",
+    "flow_features",
+    "Direction",
+    "Flow",
+    "FlowLog",
+    "DeviceBaseline",
+    "GatewayPolicy",
+    "GatewayReport",
+    "SmartGateway",
+    "Verdict",
+    "LanConfig",
+    "LanSimulation",
+    "simulate_lan",
+    "ShapingConfig",
+    "ShapingReport",
+    "TrafficShaper",
+    "Compromise",
+    "CompromiseKind",
+    "inject_compromise",
+    "occupancy_from_traffic",
+]

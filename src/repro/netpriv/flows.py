@@ -1,0 +1,77 @@
+"""Flow-level network traffic records.
+
+Sec. IV's threats and defenses all operate on *traffic patterns* — "their
+frequency of transmission, the amount of data they transmit, and where
+those transmissions are directed" — not payloads (IoT traffic is TLS
+anyway).  A flow record captures exactly that: who talked to whom, when,
+how much, in which direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Direction(Enum):
+    """Where the remote endpoint lives relative to the home LAN."""
+
+    OUTBOUND = "outbound"  # device -> Internet
+    INBOUND = "inbound"  # Internet -> device (cloud tunnel push)
+    LATERAL = "lateral"  # device -> another LAN device
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One network flow as a gateway would summarize it."""
+
+    time_s: float
+    device_id: str
+    endpoint: str  # remote host (domain or LAN device id)
+    port: int
+    direction: Direction
+    bytes_up: int
+    bytes_down: int
+    packets: int
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_up < 0 or self.bytes_down < 0 or self.packets < 0:
+            raise ValueError("byte/packet counts cannot be negative")
+        if self.duration_s < 0:
+            raise ValueError("duration cannot be negative")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_up + self.bytes_down
+
+
+@dataclass
+class FlowLog:
+    """A time-ordered collection of flows (the gateway's view)."""
+
+    flows: list[Flow] = field(default_factory=list)
+
+    def add(self, flow: Flow) -> None:
+        self.flows.append(flow)
+
+    def extend(self, flows: list[Flow]) -> None:
+        self.flows.extend(flows)
+
+    def sort(self) -> None:
+        self.flows.sort(key=lambda f: f.time_s)
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __iter__(self):
+        return iter(self.flows)
+
+    def for_device(self, device_id: str) -> "FlowLog":
+        return FlowLog([f for f in self.flows if f.device_id == device_id])
+
+    def in_window(self, t0_s: float, t1_s: float) -> "FlowLog":
+        return FlowLog([f for f in self.flows if t0_s <= f.time_s < t1_s])
+
+    def device_ids(self) -> list[str]:
+        return sorted({f.device_id for f in self.flows})

@@ -1,0 +1,181 @@
+"""Traffic shaping: defending against the passive flow-timing observer.
+
+Extension beyond the paper's explicit proposals (flagged as such in
+DESIGN.md): Sec. IV warns that a passive observer — a compromised device in
+promiscuous mode, or the ISP side of the gateway — can profile occupants
+from encrypted traffic *timing* alone (see
+:func:`repro.netpriv.threats.occupancy_from_traffic`).  Isolation does not
+help against an observer upstream of the gateway; the classical remedy is
+traffic shaping at the gateway:
+
+* **cover traffic** — inject dummy event-sized flows for event-driven
+  devices at a rate matching their occupied-home behaviour, so silence no
+  longer means absence;
+* **batching/delay** — hold event flows for a randomized delay so burst
+  timing decouples from the human action that caused it.
+
+Shaping costs bandwidth (the cover flows) and latency (the delays), giving
+it a measurable position on the paper's privacy/functionality/cost axes
+like every other defense in this library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..timeseries import SECONDS_PER_HOUR
+from .devices import Device
+from .flows import Direction, Flow, FlowLog
+
+
+@dataclass(frozen=True)
+class ShapingConfig:
+    """Gateway traffic-shaping policy.
+
+    Cover traffic is *adaptive*: each shaped device is topped up to
+    ``rate_margin`` times its occupied-home event rate every hour, counting
+    the real events that already happened.  An empty home then emits the
+    same event statistics as a busy one — constant-rate padding alone
+    leaves the real events' additive bump visible.
+    """
+
+    rate_margin: float = 1.2  # target = margin * occupied event rate
+    max_delay_s: float = 120.0  # event flows held up to this long
+    shape_start_hour: float = 6.0  # overnight silence is normal; don't pad it
+    shape_end_hour: float = 23.5
+
+    def __post_init__(self) -> None:
+        if self.rate_margin < 1.0:
+            raise ValueError("rate_margin must be >= 1")
+        if self.max_delay_s < 0:
+            raise ValueError("delays cannot be negative")
+        if not 0.0 <= self.shape_start_hour < self.shape_end_hour <= 24.0:
+            raise ValueError("invalid shaping hours")
+
+
+@dataclass
+class ShapingReport:
+    """Cost accounting for a shaping pass."""
+
+    cover_flows: int = 0
+    cover_bytes: int = 0
+    delayed_flows: int = 0
+    mean_added_delay_s: float = 0.0
+
+
+class TrafficShaper:
+    """Shapes a flow log as the gateway would on its WAN side.
+
+    Only *event-driven* devices are shaped (heartbeats and streams are
+    metronomic already and carry no occupancy signal).  Cover flows mimic
+    each device's own event size distribution and go to the device's own
+    cloud endpoint — indistinguishable at the flow level from the real
+    thing.
+    """
+
+    def __init__(self, config: ShapingConfig | None = None) -> None:
+        self.config = config or ShapingConfig()
+
+    @staticmethod
+    def _event_devices(devices: list[Device]) -> list[Device]:
+        return [
+            d
+            for d in devices
+            if d.profile.event_rate_per_occupied_hour
+            > 2.0 * max(d.profile.event_rate_per_empty_hour, 0.05)
+        ]
+
+    def shape(
+        self,
+        log: FlowLog,
+        devices: list[Device],
+        duration_s: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> tuple[FlowLog, ShapingReport]:
+        """Return the shaped log (delayed events + cover flows) and costs."""
+        rng = np.random.default_rng(rng)
+        cfg = self.config
+        report = ShapingReport()
+        shaped: list[Flow] = []
+        event_ids = {d.device_id: d for d in self._event_devices(devices)}
+
+        total_delay = 0.0
+        for flow in log:
+            device = event_ids.get(flow.device_id)
+            is_event = (
+                device is not None
+                and flow.bytes_up + flow.bytes_down > 5_000
+                and flow.duration_s < 200.0
+            )
+            if is_event and cfg.max_delay_s > 0:
+                delay = float(rng.uniform(0.0, cfg.max_delay_s))
+                shaped.append(
+                    Flow(
+                        time_s=min(flow.time_s + delay, duration_s - 1e-3),
+                        device_id=flow.device_id,
+                        endpoint=flow.endpoint,
+                        port=flow.port,
+                        direction=flow.direction,
+                        bytes_up=flow.bytes_up,
+                        bytes_down=flow.bytes_down,
+                        packets=flow.packets,
+                        duration_s=flow.duration_s,
+                    )
+                )
+                report.delayed_flows += 1
+                total_delay += delay
+            else:
+                shaped.append(flow)
+
+        # adaptive cover traffic: top each device up to its occupied rate
+        n_hours = int(np.ceil(duration_s / SECONDS_PER_HOUR))
+        real_events: dict[str, np.ndarray] = {
+            device_id: np.zeros(n_hours) for device_id in event_ids
+        }
+        for flow in log:
+            if (
+                flow.device_id in event_ids
+                and flow.bytes_up + flow.bytes_down > 5_000
+                and flow.duration_s < 200.0
+            ):
+                real_events[flow.device_id][int(flow.time_s // SECONDS_PER_HOUR)] += 1
+
+        for device in event_ids.values():
+            profile = device.profile
+            target = cfg.rate_margin * profile.event_rate_per_occupied_hour
+            hour = 0.0
+            while hour * SECONDS_PER_HOUR < duration_s:
+                hour_of_day = hour % 24.0
+                if cfg.shape_start_hour <= hour_of_day < cfg.shape_end_hour:
+                    already = real_events[device.device_id][int(hour)]
+                    deficit = max(0.0, target - already)
+                    for _ in range(rng.poisson(deficit)):
+                        t = (hour + rng.uniform()) * SECONDS_PER_HOUR
+                        if t >= duration_s:
+                            continue
+                        bytes_up = int(rng.integers(*profile.event_bytes_up))
+                        bytes_down = int(rng.integers(*profile.event_bytes_down))
+                        shaped.append(
+                            Flow(
+                                time_s=float(t),
+                                device_id=device.device_id,
+                                endpoint=profile.endpoints[0],
+                                port=profile.port,
+                                direction=Direction.OUTBOUND,
+                                bytes_up=bytes_up,
+                                bytes_down=bytes_down,
+                                packets=int(rng.integers(10, 200)),
+                                duration_s=float(rng.uniform(1.0, 30.0)),
+                            )
+                        )
+                        report.cover_flows += 1
+                        report.cover_bytes += bytes_up + bytes_down
+                hour += 1.0
+
+        if report.delayed_flows:
+            report.mean_added_delay_s = total_delay / report.delayed_flows
+        out = FlowLog(shaped)
+        out.sort()
+        return out, report

@@ -1,0 +1,43 @@
+"""Time-series substrate: traces, events, and rolling statistics."""
+
+from .series import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    BinaryTrace,
+    PowerTrace,
+    TraceError,
+    concat,
+    constant,
+    zeros_like,
+)
+from .events import Edge, SteadyState, detect_edges, pair_edges, steady_states
+from .stats import (
+    burstiness,
+    daily_profile,
+    rolling_mean,
+    rolling_std,
+    window_features,
+)
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_MINUTE",
+    "BinaryTrace",
+    "PowerTrace",
+    "TraceError",
+    "concat",
+    "constant",
+    "zeros_like",
+    "Edge",
+    "SteadyState",
+    "detect_edges",
+    "pair_edges",
+    "steady_states",
+    "burstiness",
+    "daily_profile",
+    "rolling_mean",
+    "rolling_std",
+    "window_features",
+]

@@ -1,0 +1,150 @@
+"""Edge/event detection on power traces.
+
+NILM techniques in the edge-detection family (Hart's algorithm) and the
+PowerPlay tracker both begin from the same primitive: detecting step changes
+("edges") in an aggregate power signal and grouping the signal into steady
+states between them.  This module provides those primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .series import PowerTrace
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A detected step change in a power signal.
+
+    Attributes
+    ----------
+    index:
+        Sample index at which the new level begins.
+    time_s:
+        Absolute time of that sample.
+    delta_w:
+        Signed magnitude of the step (post-level minus pre-level).
+    pre_w / post_w:
+        Steady-state level estimates before and after the step.
+    """
+
+    index: int
+    time_s: float
+    delta_w: float
+    pre_w: float
+    post_w: float
+
+    @property
+    def is_rising(self) -> bool:
+        return self.delta_w > 0
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """A maximal run of samples between two edges."""
+
+    start_index: int
+    end_index: int  # exclusive
+    level_w: float
+    start_s: float
+    duration_s: float
+
+
+def detect_edges(
+    trace: PowerTrace,
+    min_delta_w: float = 30.0,
+    settle_samples: int = 1,
+) -> list[Edge]:
+    """Detect step changes of at least ``min_delta_w`` watts.
+
+    A sample-to-sample difference whose magnitude exceeds the threshold opens
+    a candidate edge; the pre/post levels are estimated as medians over up to
+    ``settle_samples`` samples on either side, which suppresses spurious edges
+    from single-sample noise spikes.
+    """
+    if min_delta_w <= 0:
+        raise ValueError("min_delta_w must be positive")
+    if settle_samples < 1:
+        raise ValueError("settle_samples must be >= 1")
+    values = trace.values
+    edges: list[Edge] = []
+    diffs = np.diff(values)
+    candidates = np.flatnonzero(np.abs(diffs) >= min_delta_w) + 1
+    for idx in candidates:
+        lo = max(0, idx - settle_samples)
+        hi = min(len(values), idx + settle_samples)
+        pre = float(np.median(values[lo:idx]))
+        post = float(np.median(values[idx:hi]))
+        delta = post - pre
+        if abs(delta) < min_delta_w:
+            continue
+        edges.append(
+            Edge(
+                index=int(idx),
+                time_s=trace.start_s + idx * trace.period_s,
+                delta_w=delta,
+                pre_w=pre,
+                post_w=post,
+            )
+        )
+    return edges
+
+
+def steady_states(
+    trace: PowerTrace,
+    min_delta_w: float = 30.0,
+    min_duration_samples: int = 1,
+) -> list[SteadyState]:
+    """Partition the trace into steady states separated by detected edges."""
+    edges = detect_edges(trace, min_delta_w=min_delta_w)
+    boundaries = [0] + [e.index for e in edges] + [len(trace)]
+    states: list[SteadyState] = []
+    for i0, i1 in zip(boundaries, boundaries[1:]):
+        if i1 - i0 < min_duration_samples:
+            continue
+        segment = trace.values[i0:i1]
+        states.append(
+            SteadyState(
+                start_index=i0,
+                end_index=i1,
+                level_w=float(np.median(segment)),
+                start_s=trace.start_s + i0 * trace.period_s,
+                duration_s=(i1 - i0) * trace.period_s,
+            )
+        )
+    return states
+
+
+def pair_edges(
+    edges: list[Edge],
+    tolerance_w: float = 50.0,
+    max_gap_s: float | None = None,
+) -> list[tuple[Edge, Edge]]:
+    """Greedily match rising edges to later falling edges of similar size.
+
+    This is the heart of Hart's event-based NILM: an appliance cycle appears
+    as a +P edge followed later by a -P edge.  Each falling edge is matched
+    to the most recent unmatched rising edge within ``tolerance_w``.
+    Returns (rise, fall) pairs ordered by rise time.
+    """
+    open_rises: list[Edge] = []
+    pairs: list[tuple[Edge, Edge]] = []
+    for edge in edges:
+        if edge.is_rising:
+            open_rises.append(edge)
+            continue
+        best: Edge | None = None
+        for rise in reversed(open_rises):
+            if abs(rise.delta_w + edge.delta_w) <= tolerance_w:
+                if max_gap_s is not None and edge.time_s - rise.time_s > max_gap_s:
+                    continue
+                best = rise
+                break
+        if best is not None:
+            open_rises.remove(best)
+            pairs.append((best, edge))
+    pairs.sort(key=lambda p: p[0].time_s)
+    return pairs

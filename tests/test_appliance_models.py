@@ -1,0 +1,138 @@
+"""Detailed tests of the appliance load-model taxonomy (ref. [18])."""
+
+import numpy as np
+import pytest
+
+from repro.home import (
+    ANYTIME,
+    CompoundCycleAppliance,
+    ContinuousAppliance,
+    CyclicAppliance,
+    InductiveAppliance,
+    NonLinearAppliance,
+    ResistiveAppliance,
+    UsagePattern,
+)
+from repro.timeseries import BinaryTrace, SECONDS_PER_DAY
+
+
+def always_home(n_days=3, period_s=60.0):
+    n = int(n_days * SECONDS_PER_DAY / period_s)
+    return BinaryTrace(np.ones(n, dtype=int), period_s)
+
+
+class TestResistive:
+    def test_flat_while_on(self):
+        appliance = ResistiveAppliance(
+            "kettle", UsagePattern(6.0, (5.0, 10.0), ANYTIME), power_w=1500.0, noise_w=0.0
+        )
+        trace = appliance.simulate(always_home(5), np.random.default_rng(0))
+        on = trace.values[trace.values > 0]
+        assert len(on) > 0
+        # overlapping Poisson uses stack, so check the typical level
+        assert np.median(on) == pytest.approx(1500.0)
+        assert (np.isclose(on, 1500.0) | np.isclose(on, 3000.0)).all()
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError):
+            ResistiveAppliance("x", UsagePattern(1.0, (1.0, 2.0)), power_w=-5.0)
+
+
+class TestInductive:
+    def test_startup_spike_on_first_sample(self):
+        appliance = InductiveAppliance(
+            "pump",
+            UsagePattern(4.0, (20.0, 30.0), ANYTIME),
+            running_power_w=500.0,
+            spike_power_w=2000.0,
+            spike_seconds=60.0,  # full first minute at spike level
+            noise_w=0.0,
+        )
+        trace = appliance.simulate(always_home(5), np.random.default_rng(1))
+        values = trace.values
+        starts = np.flatnonzero((values[1:] > 0) & (values[:-1] == 0)) + 1
+        assert len(starts) > 0
+        for idx in starts:
+            assert values[idx] > values[idx + 1]  # spike decays to running
+
+    def test_spike_below_running_rejected(self):
+        with pytest.raises(ValueError):
+            InductiveAppliance(
+                "x", UsagePattern(1.0, (1.0, 2.0)), running_power_w=500.0, spike_power_w=100.0
+            )
+
+
+class TestNonLinear:
+    def test_power_fluctuates_within_band(self):
+        appliance = NonLinearAppliance(
+            "tv", UsagePattern(3.0, (60.0, 120.0), ANYTIME),
+            mean_power_w=200.0, fluctuation_w=50.0,
+        )
+        trace = appliance.simulate(always_home(5), np.random.default_rng(2))
+        on = trace.values[trace.values > 0]
+        assert len(on) > 10
+        assert on.std() > 1.0  # genuinely fluctuating
+        assert on.min() >= 200.0 - 50.0 - 1e-9
+        # single-session samples stay in band; overlaps may stack to 2x
+        assert np.median(on) <= 200.0 + 50.0 + 1e-9
+        assert on.max() <= 2 * (200.0 + 50.0) + 1e-9
+
+
+class TestCompound:
+    def test_element_duty_cycles_over_motor(self):
+        appliance = CompoundCycleAppliance(
+            "dryer",
+            UsagePattern(2.0, (50.0, 60.0), ANYTIME),
+            motor_power_w=300.0,
+            element_power_w=4500.0,
+            element_duty=0.5,
+            element_cycle_minutes=10.0,
+            noise_w=0.0,
+        )
+        trace = appliance.simulate(always_home(5), np.random.default_rng(3))
+        on = trace.values[trace.values > 0]
+        assert len(on) > 0
+        levels = set(np.round(np.unique(on)).astype(int).tolist())
+        assert 300 in levels  # motor-only samples
+        assert 4800 in levels  # motor + element samples
+        element_fraction = float((on > 1000).mean())
+        assert 0.3 < element_fraction < 0.7  # ~50% duty
+
+    def test_invalid_duty(self):
+        with pytest.raises(ValueError):
+            CompoundCycleAppliance(
+                "x", UsagePattern(1.0, (1.0, 2.0)), motor_power_w=300.0,
+                element_power_w=4500.0, element_duty=1.5,
+            )
+
+
+class TestCyclicAndContinuous:
+    def test_cyclic_spike_raises_first_sample(self):
+        fridge = CyclicAppliance(
+            "fridge", 150.0, 15.0, 30.0, spike_power_w=600.0, spike_seconds=60.0,
+            jitter=0.0, noise_w=0.0,
+        )
+        trace = fridge.simulate(always_home(2), np.random.default_rng(4))
+        values = trace.values
+        starts = np.flatnonzero((values[1:] > 0) & (values[:-1] == 0)) + 1
+        assert all(values[i] > values[i + 2] for i in starts[:-1])
+
+    def test_continuous_boosts_when_configured(self):
+        hrv = ContinuousAppliance(
+            "hrv", base_power_w=80.0, boost_power_w=160.0,
+            boosts_per_day=24.0, boost_minutes=30.0, noise_w=0.0,
+        )
+        trace = hrv.simulate(always_home(3), np.random.default_rng(5))
+        assert trace.min() >= 79.0
+        assert (trace.values > 150.0).any()
+
+    def test_continuous_without_boost_is_flat(self):
+        hrv = ContinuousAppliance("fan", base_power_w=50.0, noise_w=0.0)
+        trace = hrv.simulate(always_home(1), np.random.default_rng(6))
+        assert np.allclose(trace.values, 50.0)
+
+    def test_usage_pattern_validation(self):
+        with pytest.raises(ValueError):
+            UsagePattern(-1.0, (1.0, 2.0))
+        with pytest.raises(ValueError):
+            UsagePattern(1.0, (5.0, 2.0))

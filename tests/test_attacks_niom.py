@@ -1,0 +1,148 @@
+"""Tests for NIOM occupancy detection and behavioral profiling."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    ClusterNIOM,
+    HMMNIOM,
+    ThresholdNIOM,
+    active_days_of_week,
+    build_profile,
+    estimated_bedtime_hour,
+    meal_profile,
+    score_occupancy_attack,
+    usage_events_per_day,
+    usage_hours_histogram,
+)
+from repro.home import home_a, home_b, simulate_home
+from repro.timeseries import BinaryTrace, PowerTrace, SECONDS_PER_DAY, constant
+
+DETECTORS = [
+    ("threshold", lambda: ThresholdNIOM()),
+    ("cluster", lambda: ClusterNIOM(rng=0)),
+    ("hmm", lambda: HMMNIOM(rng=0)),
+]
+
+
+@pytest.fixture(scope="module")
+def week_home():
+    return simulate_home(home_a(), 14, rng=42)
+
+
+class TestDetectors:
+    @pytest.mark.parametrize("name,factory", DETECTORS, ids=[d[0] for d in DETECTORS])
+    def test_beats_chance_on_simulated_home(self, week_home, name, factory):
+        result = factory().detect(week_home.metered)
+        scores = score_occupancy_attack(result.occupancy, week_home.occupancy)
+        assert scores["mcc"] > 0.15  # clearly better than random
+        assert scores["accuracy"] > 0.55
+
+    @pytest.mark.parametrize("name,factory", DETECTORS, ids=[d[0] for d in DETECTORS])
+    def test_output_on_window_clock(self, week_home, name, factory):
+        result = factory().detect(week_home.metered)
+        assert result.occupancy.period_s >= week_home.metered.period_s
+        assert set(np.unique(result.occupancy.values)).issubset({0, 1})
+
+    def test_threshold_flags_bursty_windows(self):
+        # flat 100 W everywhere except a bursty noon stretch
+        rng = np.random.default_rng(0)
+        values = np.full(2 * 1440, 100.0)
+        noon = slice(12 * 60, 14 * 60)
+        values[noon] += rng.uniform(0, 2000, 120)
+        values[1440 + 12 * 60 : 1440 + 14 * 60] += rng.uniform(0, 2000, 120)
+        trace = PowerTrace(values, 60.0)
+        detected = ThresholdNIOM().detect(trace).occupancy
+        hours = (detected.times() % SECONDS_PER_DAY) / 3600.0
+        assert detected.values[(hours >= 12) & (hours < 14)].mean() > 0.8
+        assert detected.values[(hours >= 2) & (hours < 5)].mean() < 0.3
+
+    def test_detector_handles_coarse_trace(self, week_home):
+        coarse = week_home.metered.resample(3600.0)
+        result = ThresholdNIOM().detect(coarse)  # window finer than period
+        assert result.occupancy.period_s == 3600.0
+
+    def test_too_short_trace_raises(self):
+        with pytest.raises(ValueError):
+            ThresholdNIOM().detect(constant(100.0, 20, 60.0))
+
+    def test_score_alignment(self, week_home):
+        result = ThresholdNIOM().detect(week_home.metered)
+        scores = score_occupancy_attack(result.occupancy, week_home.occupancy)
+        assert 0.0 <= scores["accuracy"] <= 1.0
+        assert -1.0 <= scores["mcc"] <= 1.0
+
+    def test_accuracy_in_paper_band_across_homes(self):
+        """Sec. II-A: '70-90% for a range of homes'."""
+        accs = []
+        for seed, config in [(1, home_a()), (2, home_b()), (3, home_a()), (4, home_b())]:
+            sim = simulate_home(config, 10, rng=seed)
+            best = max(
+                score_occupancy_attack(f().detect(sim.metered).occupancy, sim.occupancy)[
+                    "accuracy"
+                ]
+                for _, f in DETECTORS
+            )
+            accs.append(best)
+        assert 0.65 <= float(np.mean(accs)) <= 0.95
+
+
+class TestProfiling:
+    @staticmethod
+    def pulse_trace(days, hour, duration_min, power, period_s=60.0):
+        n = int(days * SECONDS_PER_DAY / period_s)
+        values = np.zeros(n)
+        for d in range(days):
+            i0 = int((d * SECONDS_PER_DAY + hour * 3600) / period_s)
+            values[i0 : i0 + int(duration_min * 60 / period_s)] = power
+        return PowerTrace(values, period_s)
+
+    def test_usage_events_per_day(self):
+        trace = self.pulse_trace(5, 8.0, 10, 1000.0)
+        assert usage_events_per_day(trace) == pytest.approx(1.0)
+
+    def test_usage_hours_histogram_peaks_correctly(self):
+        trace = self.pulse_trace(5, 19.0, 30, 1000.0)
+        hist = usage_hours_histogram(trace)
+        assert hist.argmax() == 19
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_laundry_day_detection(self):
+        # dryer runs only on epoch weekdays 2 and 5
+        n = int(14 * SECONDS_PER_DAY / 60)
+        values = np.zeros(n)
+        for day in range(14):
+            if day % 7 in (2, 5):
+                i0 = int((day * SECONDS_PER_DAY + 11 * 3600) / 60)
+                values[i0 : i0 + 45] = 5000.0
+        trace = PowerTrace(values, 60.0)
+        assert active_days_of_week(trace) == [2, 5]
+
+    def test_meal_profile_frozen_dinners(self):
+        microwave = self.pulse_trace(10, 18.5, 5, 1400.0)
+        mp = meal_profile(microwave, None)
+        assert mp.prefers_frozen_dinners
+        assert mp.eats_out_days_fraction < 0.2
+
+    def test_meal_profile_requires_an_appliance(self):
+        with pytest.raises(ValueError):
+            meal_profile(None, None)
+
+    def test_bedtime_from_lighting(self):
+        lights = self.pulse_trace(7, 20.0, 150, 200.0)  # lights off at 22:30
+        occupancy = BinaryTrace(np.ones(7 * 1440, dtype=int), 60.0)
+        bedtime = estimated_bedtime_hour(occupancy, lights)
+        assert bedtime == pytest.approx(22.5, abs=0.2)
+
+    def test_full_profile_from_simulated_home(self):
+        sim = simulate_home(home_b(), 14, rng=9)
+        profile = build_profile(sim.appliance_traces, sim.occupancy)
+        assert 0.0 < profile.occupied_fraction < 1.0
+        assert 19.0 <= profile.bedtime_hour <= 24.0
+        assert profile.tv_hours_per_day >= 0.0
+        assert "fridge" in profile.appliance_event_rates
+
+    def test_profile_requires_appliances(self):
+        occupancy = BinaryTrace(np.ones(1440, dtype=int), 60.0)
+        with pytest.raises(ValueError):
+            build_profile({}, occupancy)

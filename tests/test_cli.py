@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import load_trace_csv
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "nill" in out
+        assert "threshold-15m" in out
+
+    def test_simulate_writes_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.csv"
+        assert main(["simulate", "--home", "home-a", "--days", "1",
+                     "--seed", "3", "--out", str(out_path)]) == 0
+        trace = load_trace_csv(out_path)
+        assert len(trace) == 1440
+        assert trace.period_s == pytest.approx(60.0)
+
+    def test_simulate_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["simulate", "--days", "1", "--seed", "9", "--out", str(a)])
+        main(["simulate", "--days", "1", "--seed", "9", "--out", str(b)])
+        assert np.allclose(load_trace_csv(a).values, load_trace_csv(b).values)
+
+    def test_attack_reports_ensemble(self, capsys):
+        assert main(["attack", "--home", "home-a", "--days", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "worst case" in out
+        assert "threshold-15m" in out
+
+    def test_defend_reports_tradeoff(self, capsys):
+        assert main(["defend", "dp-laplace", "--home", "home-a",
+                     "--days", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "attack mcc" in out
+        assert "utility" in out
+
+    def test_knob_sweep(self, capsys):
+        assert main(["knob", "--days", "4", "--seed", "2", "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 4  # header + 3 settings
+
+    def test_unknown_defense_raises(self):
+        with pytest.raises(Exception):
+            main(["defend", "no-such-defense", "--days", "4"])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,105 @@
+"""Cross-package integration stories.
+
+Each test runs one of the paper's narratives end-to-end across package
+boundaries, checking the pieces compose: simulators feed attacks, attacks
+feed defenses, defenses feed evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    PowerPlayTracker,
+    ThresholdNIOM,
+    align_truth_to_meter,
+    build_profile,
+    fig2_signatures,
+    score_occupancy_attack,
+)
+from repro.core import evaluate_defense_outcome, occupancy_privacy, run_pipeline
+from repro.datasets import fig2_dataset, load_trace_csv, save_trace_csv
+from repro.defenses import LocalAnalyticsHub, PrivateMeter, UtilityVerifier, apply_chpr
+from repro.home import MeterConfig, SmartMeter, fig6_home, home_b, simulate_home
+
+
+class TestMeterToProfileStory:
+    """Sec. II-A: from a smart meter to a behavioral dossier."""
+
+    def test_nilm_output_feeds_profiling(self):
+        sim = fig2_dataset(n_days=14)
+        tracker = PowerPlayTracker(fig2_signatures())
+        estimates = tracker.track(sim.metered).estimates
+        # profile built from *inferred* appliance traces, not ground truth
+        profile = build_profile(dict(estimates), sim.occupancy)
+        assert profile.appliance_event_rates["toaster"] > 0.2
+        # inferred laundry schedule overlaps the true one
+        from repro.attacks import active_days_of_week
+
+        true_days = set(active_days_of_week(sim.appliance_traces["dryer"]))
+        inferred_days = set(active_days_of_week(estimates["dryer"]))
+        if true_days:
+            assert inferred_days & true_days or not inferred_days
+
+
+class TestDefenseRoundTripStory:
+    """Sec. III: defense output is itself a valid trace for everything else."""
+
+    def test_chpr_output_flows_through_pipeline(self):
+        sim = simulate_home(fig6_home(), 7, rng=21)
+        outcome = apply_chpr(sim, rng=22)
+        # the defended trace can be re-metered, attacked, billed, exported
+        remetered = SmartMeter(MeterConfig(period_s=900.0)).observe(outcome.visible, 23)
+        assert remetered.period_s == 900.0
+        score = occupancy_privacy(outcome.visible, sim.occupancy)
+        assert score.worst_case_mcc < 0.5
+        meter = PrivateMeter(rng=24)
+        commitments = meter.record_trace(outcome.visible.resample(3600.0))
+        proof = meter.billing_response([1] * len(commitments))
+        assert UtilityVerifier().verify_bill(commitments, [1] * len(commitments), proof)
+
+    def test_csv_round_trip_preserves_attackability(self, tmp_path):
+        sim = simulate_home(home_b(), 5, rng=25)
+        path = tmp_path / "export.csv"
+        save_trace_csv(sim.metered, path)
+        loaded = load_trace_csv(path)
+        a = ThresholdNIOM().detect(sim.metered).occupancy
+        b = ThresholdNIOM().detect(loaded).occupancy
+        assert np.array_equal(a.values, b.values)
+
+
+class TestLocalHubVsCloudStory:
+    """Sec. III-D: the hub serves the service while starving the attacker."""
+
+    def test_hub_functionality_matches_cloud_quality(self):
+        sim = simulate_home(home_b(), 7, rng=26)
+        hub = LocalAnalyticsHub(sim.metered)
+        # billing identical to what the cloud would compute from raw data
+        assert hub.bill_cents(12.0) == pytest.approx(sim.metered.energy_kwh() * 12.0)
+        # schedule recommendation targets a genuinely idle window
+        rec = hub.recommend_schedule()
+        occ = sim.occupancy
+        hours = (occ.times() % 86400) / 3600.0
+        window = (hours >= rec.setback_start_hour) & (hours < rec.setback_end_hour)
+        overall = occ.values.mean()
+        assert occ.values[window].mean() <= overall + 0.05
+
+    def test_attacker_with_payload_loses_day_resolution(self):
+        sim = simulate_home(home_b(), 7, rng=27)
+        payload = LocalAnalyticsHub(sim.metered).shared_payload()
+        reconstruction = payload.as_trace()
+        days = np.asarray(reconstruction.values).reshape(
+            -1, len(payload.mean_daily_profile_w)
+        )
+        assert np.allclose(days, days[0])  # day-to-day variation is gone
+
+
+class TestFullPipelineDeterminism:
+    def test_pipeline_reproducible(self):
+        sim = simulate_home(home_b(), 4, rng=28)
+        r1 = run_pipeline(sim, defense_names=["nill", "dp-laplace"], rng=29)
+        r2 = run_pipeline(sim, defense_names=["nill", "dp-laplace"], rng=29)
+        for name in r1.defenses:
+            assert (
+                r1.defenses[name].privacy.worst_case_mcc
+                == r2.defenses[name].privacy.worst_case_mcc
+            )

@@ -1,0 +1,148 @@
+"""Tests for the Gaussian HMM and the factorial HMM."""
+
+import numpy as np
+import pytest
+
+from repro.ml import FactorialHMM, GaussianHMM, fit_appliance_chain
+
+
+def two_state_model(rng=None):
+    hmm = GaussianHMM(2, rng=rng)
+    hmm.set_parameters(
+        startprob=np.asarray([0.5, 0.5]),
+        transmat=np.asarray([[0.95, 0.05], [0.05, 0.95]]),
+        means=np.asarray([[0.0], [10.0]]),
+        variances=np.asarray([[1.0], [1.0]]),
+    )
+    return hmm
+
+
+class TestGaussianHMM:
+    def test_set_parameters_validation(self):
+        hmm = GaussianHMM(2)
+        with pytest.raises(ValueError):
+            hmm.set_parameters(
+                startprob=np.asarray([0.9, 0.9]),  # does not sum to 1
+                transmat=np.eye(2),
+                means=np.zeros((2, 1)),
+                variances=np.ones((2, 1)),
+            )
+
+    def test_decode_separated_states(self):
+        hmm = two_state_model(rng=0)
+        obs, states = hmm.sample(400, rng=1)
+        decoded = hmm.decode(obs)
+        assert np.mean(decoded == states) > 0.97
+
+    def test_posterior_rows_sum_to_one(self):
+        hmm = two_state_model(rng=0)
+        obs, _ = hmm.sample(100, rng=2)
+        gamma = hmm.posterior(obs)
+        assert gamma.shape == (100, 2)
+        assert np.allclose(gamma.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_log_likelihood_prefers_true_model(self):
+        true = two_state_model(rng=0)
+        obs, _ = true.sample(300, rng=3)
+        wrong = GaussianHMM(2)
+        wrong.set_parameters(
+            startprob=np.asarray([0.5, 0.5]),
+            transmat=np.asarray([[0.95, 0.05], [0.05, 0.95]]),
+            means=np.asarray([[50.0], [80.0]]),
+            variances=np.asarray([[1.0], [1.0]]),
+        )
+        assert true.log_likelihood(obs) > wrong.log_likelihood(obs)
+
+    def test_fit_recovers_means(self):
+        true = two_state_model(rng=0)
+        obs, _ = true.sample(800, rng=4)
+        learned = GaussianHMM(2, rng=5).fit(obs)
+        means = sorted(learned.means_[:, 0])
+        assert means[0] == pytest.approx(0.0, abs=0.5)
+        assert means[1] == pytest.approx(10.0, abs=0.5)
+
+    def test_fit_improves_likelihood(self):
+        true = two_state_model(rng=0)
+        obs, _ = true.sample(300, rng=6)
+        model = GaussianHMM(2, n_iter=0, rng=7)
+        model._init_from_kmeans(np.asarray(obs))
+        before = model.log_likelihood(obs)
+        model.n_iter = 20
+        model.fit(obs)
+        assert model.log_likelihood(obs) >= before - 1e-6
+
+    def test_fit_learns_sticky_transitions(self):
+        true = two_state_model(rng=0)
+        obs, _ = true.sample(1000, rng=8)
+        learned = GaussianHMM(2, rng=9).fit(obs)
+        assert learned.transmat_[0, 0] > 0.8
+        assert learned.transmat_[1, 1] > 0.8
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianHMM(2).decode(np.zeros((10, 1)))
+
+    def test_too_short_sequence_raises(self):
+        with pytest.raises(ValueError):
+            GaussianHMM(4).fit(np.zeros((5, 1)))
+
+
+class TestFactorialHMM:
+    @staticmethod
+    def appliance_chain(off_w, on_w, stay=0.97):
+        chain = GaussianHMM(2)
+        chain.set_parameters(
+            startprob=np.asarray([0.9, 0.1]),
+            transmat=np.asarray([[stay, 1 - stay], [1 - stay, stay]]),
+            means=np.asarray([[off_w], [on_w]]),
+            variances=np.asarray([[25.0], [100.0]]),
+        )
+        return chain
+
+    def test_joint_space_size(self):
+        chains = [self.appliance_chain(0, 100), self.appliance_chain(0, 1000)]
+        fhmm = FactorialHMM(chains)
+        assert fhmm.n_joint_states == 4
+
+    def test_disaggregates_two_distinct_loads(self):
+        rng = np.random.default_rng(10)
+        c1 = self.appliance_chain(0.0, 150.0)
+        c2 = self.appliance_chain(0.0, 1200.0)
+        obs1, s1 = c1.sample(500, rng=11)
+        obs2, s2 = c2.sample(500, rng=12)
+        aggregate = obs1[:, 0] + obs2[:, 0] + rng.normal(0, 5, 500)
+        fhmm = FactorialHMM([c1, c2], noise_var=25.0)
+        states = fhmm.decode(aggregate.reshape(-1, 1))
+        assert np.mean(states[:, 1] == s2) > 0.95  # big load: near-perfect
+        assert np.mean(states[:, 0] == s1) > 0.80  # small load: good
+
+    def test_disaggregate_power_close_to_truth(self):
+        c1 = self.appliance_chain(0.0, 500.0)
+        c2 = self.appliance_chain(0.0, 2000.0)
+        obs1, _ = c1.sample(300, rng=13)
+        obs2, _ = c2.sample(300, rng=14)
+        aggregate = (obs1[:, 0] + obs2[:, 0]).reshape(-1, 1)
+        powers = fhmm_powers = FactorialHMM([c1, c2]).disaggregate(aggregate)
+        total_err = np.abs(powers.sum(axis=1) - aggregate[:, 0]).mean()
+        assert total_err < 150.0
+
+    def test_unfitted_chain_rejected(self):
+        with pytest.raises(ValueError):
+            FactorialHMM([GaussianHMM(2)])
+
+    def test_joint_space_cap(self):
+        chains = [self.appliance_chain(0, 100) for _ in range(3)]
+        for chain in chains:
+            chain.n_states = 2
+        big = [fit for fit in chains]
+        # 40 chains of 2 states would be 2^40 joint states
+        with pytest.raises(ValueError):
+            FactorialHMM([self.appliance_chain(0, 100)] * 40)
+
+    def test_fit_appliance_chain_orders_states(self):
+        rng = np.random.default_rng(15)
+        power = np.where(rng.uniform(size=600) < 0.3, 1000.0, 0.0)
+        power += rng.normal(0, 10, 600)
+        chain = fit_appliance_chain(power, n_states=2, rng=16)
+        assert chain.means_[0, 0] < chain.means_[1, 0]
+        assert chain.means_[1, 0] == pytest.approx(1000.0, abs=100.0)

@@ -1,0 +1,208 @@
+"""Tests for SunSpot, Weatherman, and SunDance."""
+
+import numpy as np
+import pytest
+
+from repro.home import MeterConfig, NetMeter, simulate_home, home_a
+from repro.solar import (
+    LatLon,
+    PVArrayConfig,
+    SolarSite,
+    SunDance,
+    SunSpot,
+    WeatherField,
+    WeatherStationDB,
+    Weatherman,
+    cloud_proxy_from_generation,
+    extract_day_observations,
+    predicted_crossings,
+    simulate_generation,
+)
+from repro.solar.sunspot import envelope_observations
+from repro.timeseries import SECONDS_PER_DAY
+
+SITE = SolarSite("test-site", LatLon(42.39, -72.53))
+
+
+@pytest.fixture(scope="module")
+def weather():
+    return WeatherField()
+
+
+@pytest.fixture(scope="module")
+def year_trace(weather):
+    return simulate_generation(SITE, 365, 60.0, weather, rng=0)
+
+
+class TestObservationExtraction:
+    def test_extracts_one_observation_per_clear_day(self):
+        site = SolarSite("s", LatLon(42.0, -72.0), PVArrayConfig(noise_w=0.0))
+        gen = simulate_generation(site, 20, 60.0, rng=1)
+        obs = extract_day_observations(gen)
+        # local-solar-day windows drop a boundary day at western longitudes
+        assert len(obs) in (19, 20)
+
+    def test_start_before_end(self, year_trace):
+        for o in extract_day_observations(year_trace):
+            assert o.start_utc_h < o.end_utc_h
+
+    def test_day_length_tracks_season(self):
+        site = SolarSite("s", LatLon(45.0, -90.0), PVArrayConfig(noise_w=0.0))
+        gen = simulate_generation(site, 365, 60.0, rng=2)
+        obs = extract_day_observations(gen)
+        lengths = {o.day_index: o.end_utc_h - o.start_utc_h for o in obs}
+        assert lengths[171] > lengths[354] + 4.0  # summer much longer
+
+    def test_overcast_days_skipped(self, weather):
+        gen = simulate_generation(SITE, 60, 60.0, weather, rng=3)
+        obs = extract_day_observations(gen)
+        assert len(obs) < 60  # some days were too cloudy
+
+    def test_zero_trace_returns_empty(self):
+        from repro.timeseries import constant
+
+        assert extract_day_observations(constant(0.0, 2880, 60.0)) == []
+
+    def test_envelope_keeps_clearest_day(self):
+        from repro.solar.sunspot import DayObservation
+
+        days = [
+            DayObservation(0, 7.0, 17.0),
+            DayObservation(1, 7.5, 16.5),  # cloud-shrunk
+            DayObservation(2, 6.9, 17.1),  # clearest
+        ]
+        out = envelope_observations(days, window_days=10)
+        assert len(out) == 1
+        assert out[0].day_index == 2
+
+
+class TestPredictedCrossings:
+    def test_higher_el0_shrinks_day(self):
+        days = np.asarray([100])
+        r1, s1 = predicted_crossings(days, 42.0, -72.0, 0.0)
+        r2, s2 = predicted_crossings(days, 42.0, -72.0, 5.0)
+        assert (s2 - r2)[0] < (s1 - r1)[0]
+
+    def test_matches_horizon_formula_at_zero(self):
+        from repro.solar import sunrise_sunset_utc_hours
+
+        days = np.asarray([80])
+        rise, sset = predicted_crossings(days, 42.0, -72.0, 0.0)
+        expected = sunrise_sunset_utc_hours(79, 42.0, -72.0)  # day_index 80-1... consistent n
+        # both use n = day%365+1, so day_index=80 -> n=81; call with day 80
+        expected = sunrise_sunset_utc_hours(80, 42.0, -72.0)
+        assert rise[0] == pytest.approx(expected[0], abs=1e-6)
+        assert sset[0] == pytest.approx(expected[1], abs=1e-6)
+
+
+class TestSunSpot:
+    def test_localizes_clean_site_within_tens_of_km(self):
+        site = SolarSite("clean", LatLon(42.39, -72.53), PVArrayConfig(noise_w=0.0))
+        gen = simulate_generation(site, 365, 60.0, rng=0)
+        result = SunSpot().localize(gen)
+        assert result.error_km(site.location) < 60.0
+
+    def test_localizes_cloudy_site(self, year_trace):
+        result = SunSpot().localize(year_trace)
+        assert result.error_km(SITE.location) < 120.0
+
+    def test_longitude_is_precise(self, year_trace):
+        result = SunSpot().localize(year_trace)
+        assert abs(result.estimate.lon - SITE.location.lon) < 0.3
+
+    def test_hard_site_still_bounded(self, weather):
+        # a skewed-azimuth, horizon-blocked array: the dawn model's beam
+        # term absorbs much of the bias, so the estimate stays in-region
+        # (which of the ten Fig. 5 sites end up as outliers is determined
+        # empirically by the benchmark and recorded in EXPERIMENTS.md)
+        hard = SolarSite(
+            "hard",
+            LatLon(44.0, -90.0),
+            PVArrayConfig(azimuth_deg=115.0, horizon_east_deg=12.0),
+        )
+        gen = simulate_generation(hard, 365, 60.0, weather, rng=7)
+        result = SunSpot().localize(gen)
+        assert result.error_km(hard.location) < 400.0
+
+    def test_too_few_days_raises(self):
+        gen = simulate_generation(SITE, 10, 60.0, weather=None, rng=1)
+        short = gen.slice_time(0, 3 * SECONDS_PER_DAY)
+        with pytest.raises(ValueError):
+            SunSpot().localize(short)
+
+
+class TestWeatherman:
+    def test_cloud_proxy_shape(self, year_trace):
+        proxy = cloud_proxy_from_generation(year_trace)
+        assert len(proxy.times_s) == len(proxy.values)
+        assert np.all(proxy.values >= 0.0) and np.all(proxy.values <= 1.0)
+
+    def test_proxy_needs_enough_days(self, year_trace):
+        short = year_trace.slice_time(0, 5 * SECONDS_PER_DAY)
+        with pytest.raises(ValueError):
+            cloud_proxy_from_generation(short)
+
+    def test_localizes_with_hourly_data(self, weather, year_trace):
+        stations = WeatherStationDB(
+            weather, (SITE.location.lat - 4, SITE.location.lat + 4),
+            (SITE.location.lon - 4, SITE.location.lon + 4), 1.0
+        )
+        hourly = year_trace.resample(3600.0)
+        result = Weatherman(stations).localize(hourly)
+        assert result.error_km(SITE.location) < 30.0
+
+    def test_localizes_hard_site(self, weather):
+        hard = SolarSite(
+            "hard",
+            LatLon(44.0, -90.0),
+            PVArrayConfig(azimuth_deg=115.0, horizon_east_deg=12.0),
+        )
+        gen = simulate_generation(hard, 180, 60.0, weather, rng=7).resample(3600.0)
+        stations = WeatherStationDB(weather, (40.0, 48.0), (-94.0, -86.0), 1.0)
+        result = Weatherman(stations).localize(gen)
+        # robust where SunSpot is not: weather correlation ignores geometry
+        assert result.error_km(hard.location) < 40.0
+
+
+class TestSunDance:
+    def test_recovers_generation_and_consumption(self, weather):
+        home = simulate_home(home_a(), 30, rng=11)
+        gen = simulate_generation(SITE, 30, 60.0, weather, rng=12)
+        net = NetMeter(MeterConfig(noise_std_w=5.0)).observe_net(home.total, gen, 13)
+        est = SunDance().disaggregate(net)
+        n = len(est.generation)
+        gen_err = np.abs(est.generation.values - gen.resample(60.0).values[:n]).sum()
+        assert gen_err / gen.values.sum() < 0.3
+        # consumption must be non-negative and roughly conserve energy
+        assert est.consumption.min() >= 0.0
+        total_true = home.total.energy_kwh()
+        assert est.consumption.energy_kwh() == pytest.approx(total_true, rel=0.5)
+
+    def test_weather_aided_also_accurate(self, weather):
+        # the weather-aided variant replaces the trace's own deficit signal
+        # with the public weather service at a (Weatherman-) inferred
+        # location; both must recover generation well (the trace's own
+        # deficit is itself an excellent transmittance estimate, so aided
+        # is not necessarily better — it matters for bursty homes whose
+        # load masks the deficit)
+        home = simulate_home(home_a(), 30, rng=14)
+        gen = simulate_generation(SITE, 30, 60.0, weather, rng=15)
+        net = NetMeter(MeterConfig(noise_std_w=5.0)).observe_net(home.total, gen, 16)
+        stations = WeatherStationDB(weather, (40.0, 45.0), (-75.0, -70.0), 1.0)
+        blind = SunDance().disaggregate(net)
+        aided = SunDance(location=SITE.location, weather=stations).disaggregate(net)
+        truth = gen.resample(60.0).values[: len(blind.generation)]
+        err_blind = np.abs(blind.generation.values - truth).sum() / truth.sum()
+        err_aided = np.abs(aided.generation.values - truth).sum() / truth.sum()
+        assert err_blind < 0.3
+        assert err_aided < 0.4
+
+    def test_needs_a_week(self):
+        from repro.timeseries import constant
+
+        with pytest.raises(ValueError):
+            SunDance().disaggregate(constant(100.0, 1440, 60.0))
+
+    def test_location_without_weather_rejected(self):
+        with pytest.raises(ValueError):
+            SunDance(location=LatLon(0, 0), weather=None)
