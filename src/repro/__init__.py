@@ -16,6 +16,8 @@ Safeguarding User Privacy in the IoT Era":
   compromised-device threats, and the smart gateway;
 - :mod:`repro.core` — the evaluation pipeline and the user-controllable
   privacy knob;
+- :mod:`repro.fleet` — parallel multi-home fleet simulation with result
+  caching and population-level attack/defense reports;
 - :mod:`repro.ml` / :mod:`repro.timeseries` — the from-scratch ML and
   time-series substrates everything rests on;
 - :mod:`repro.datasets` — seeded datasets for every figure.
@@ -31,13 +33,14 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import attacks, core, datasets, defenses, home, metrics, ml, netpriv, solar, timeseries
+from . import attacks, core, datasets, defenses, fleet, home, metrics, ml, netpriv, solar, timeseries
 
 __all__ = [
     "attacks",
     "core",
     "datasets",
     "defenses",
+    "fleet",
     "home",
     "metrics",
     "ml",

@@ -7,6 +7,7 @@ Exposes the library's main workflows without writing Python:
 * ``defend`` — apply a registered defense to a trace and re-attack it;
 * ``localize`` — run SunSpot/Weatherman on a solar generation trace;
 * ``knob`` — sweep the Sec. III-E privacy knob over a simulated home;
+* ``fleet`` — evaluate a population of homes in parallel, with caching;
 * ``info`` — list registered attacks, defenses, and home presets.
 """
 
@@ -16,6 +17,16 @@ import argparse
 import sys
 
 import numpy as np
+
+from .home.presets import preset_names
+
+
+def _add_home_args(p: argparse.ArgumentParser) -> None:
+    """The shared single-home selection flags, sourced from the preset
+    registry so subcommands can't drift as presets are added."""
+    p.add_argument("--home", default="home-b", choices=preset_names())
+    p.add_argument("--days", type=int, default=7)
+    p.add_argument("--seed", type=int, default=0)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -27,22 +38,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("simulate", help="simulate a home and export its metered trace")
-    p.add_argument("--home", default="home-b", choices=["home-a", "home-b", "fig2", "fig6", "random"])
-    p.add_argument("--days", type=int, default=7)
-    p.add_argument("--seed", type=int, default=0)
+    _add_home_args(p)
     p.add_argument("--out", default="metered.csv", help="CSV output path")
 
     p = sub.add_parser("attack", help="run the NIOM ensemble on a trace")
     p.add_argument("--trace", help="CSV trace (default: simulate home-b)")
-    p.add_argument("--home", default="home-b", choices=["home-a", "home-b", "fig2", "fig6", "random"])
-    p.add_argument("--days", type=int, default=7)
-    p.add_argument("--seed", type=int, default=0)
+    _add_home_args(p)
 
     p = sub.add_parser("defend", help="apply a defense and re-run the attack")
     p.add_argument("defense", help="registered defense name (see 'info')")
-    p.add_argument("--home", default="home-b", choices=["home-a", "home-b", "fig2", "fig6", "random"])
-    p.add_argument("--days", type=int, default=7)
-    p.add_argument("--seed", type=int, default=0)
+    _add_home_args(p)
 
     p = sub.add_parser("localize", help="localize a solar generation trace")
     p.add_argument("--trace", help="CSV generation trace (default: simulate a site)")
@@ -57,20 +62,38 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--steps", type=int, default=6)
 
+    p = sub.add_parser(
+        "fleet",
+        help="evaluate a population of homes (parallel, cached)",
+        description="Simulate N homes, sweep defenses and the NIOM ensemble "
+        "over each, and report population distributions of the "
+        "privacy/utility/cost tradeoff.",
+    )
+    p.add_argument("--homes", type=int, default=20, help="population size")
+    p.add_argument("--days", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (<=1 runs serially in-process)")
+    p.add_argument("--chunksize", type=int, default=1,
+                   help="homes batched per worker dispatch")
+    p.add_argument("--mix", default="random",
+                   help="comma-separated preset names cycled over the fleet "
+                   f"(from: {', '.join(preset_names())})")
+    p.add_argument("--defenses", default="all",
+                   help="comma-separated defense names, or 'all'")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory (re-sweeps only pay for new cells)")
+    p.add_argument("--csv", default=None, help="export the report as CSV")
+    p.add_argument("--json", default=None, help="export the report as JSON")
+
     sub.add_parser("info", help="list registered attacks, defenses, presets")
     return parser
 
 
 def _home_config(name: str, seed: int):
-    from .home import fig2_home, fig6_home, home_a, home_b, random_home
+    from .home import make_preset
 
-    return {
-        "home-a": home_a,
-        "home-b": home_b,
-        "fig2": fig2_home,
-        "fig6": fig6_home,
-        "random": lambda: random_home(seed),
-    }[name]()
+    return make_preset(name, seed)
 
 
 def _load_or_simulate(args):
@@ -179,10 +202,54 @@ def cmd_knob(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    from .fleet import FleetReport, FleetSpec, run_fleet
+
+    mix = tuple(name.strip() for name in args.mix.split(",") if name.strip())
+    defenses = (
+        None
+        if args.defenses == "all"
+        else tuple(d.strip() for d in args.defenses.split(",") if d.strip())
+    )
+    spec = FleetSpec(
+        n_homes=args.homes,
+        days=args.days,
+        seed=args.seed,
+        mix=mix,
+        defenses=defenses,
+    )
+    result = run_fleet(
+        spec,
+        workers=args.workers,
+        chunksize=args.chunksize,
+        cache_dir=args.cache_dir,
+    )
+    report = FleetReport.from_result(result)
+    print(f"fleet: {report.n_homes} homes x {report.days} days "
+          f"(mix: {', '.join(report.mix)}; seed {report.seed})")
+    print(report.format_table())
+    print(f"population energy: mean {report.energy_kwh.mean:.1f} kWh "
+          f"(p10 {report.energy_kwh.p10:.1f}, p90 {report.energy_kwh.p90:.1f})")
+    cached = report.n_homes - report.executed
+    line = (f"ran {report.executed}/{report.n_homes} homes "
+            f"({cached} cached) on {report.workers_used} worker(s) "
+            f"in {report.elapsed_s:.2f}s")
+    if report.cache is not None:
+        line += f"; cache hit rate {report.cache['hit_rate']:.0%}"
+    print(line)
+    if args.csv:
+        report.to_csv(args.csv)
+        print(f"report CSV written to {args.csv}")
+    if args.json:
+        report.to_json(args.json)
+        print(f"report JSON written to {args.json}")
+    return 0
+
+
 def cmd_info(args) -> int:
     from .core import defense_names, niom_attack_names
 
-    print("home presets:   home-a, home-b, fig2, fig6, random")
+    print(f"home presets:   {', '.join(preset_names())}")
     print(f"niom attacks:   {', '.join(niom_attack_names())}")
     print(f"defenses:       {', '.join(defense_names())}")
     print("solar attacks:  sunspot, weatherman (see 'localize')")
@@ -195,6 +262,7 @@ COMMANDS = {
     "defend": cmd_defend,
     "localize": cmd_localize,
     "knob": cmd_knob,
+    "fleet": cmd_fleet,
     "info": cmd_info,
 }
 

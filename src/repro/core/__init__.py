@@ -10,7 +10,7 @@ from .evaluation import (
     occupancy_privacy,
 )
 from .knob import KnobStage, PrivacyKnob, sweep_knob
-from .pipeline import PipelineResult, run_pipeline
+from .pipeline import PipelineResult, evaluate_simulation, run_pipeline
 from .registry import (
     RegistryError,
     defense_names,
@@ -33,6 +33,7 @@ __all__ = [
     "PrivacyKnob",
     "sweep_knob",
     "PipelineResult",
+    "evaluate_simulation",
     "run_pipeline",
     "RegistryError",
     "defense_names",

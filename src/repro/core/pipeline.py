@@ -35,21 +35,19 @@ class PipelineResult:
         return before / after
 
 
-def run_pipeline(
-    sim: HomeSimulation | None = None,
+def evaluate_simulation(
+    sim: HomeSimulation,
     defense_names: list[str] | None = None,
-    n_days: int = 7,
     rng: np.random.Generator | int | None = None,
     detectors=DEFAULT_DETECTORS,
 ) -> PipelineResult:
-    """Evaluate defenses on a simulated home.
+    """Score the baseline and every requested defense on one simulation.
 
-    With no arguments: simulate the Fig. 1 Home-B for a week and sweep all
-    registered defenses.
+    This is the process-safe core of :func:`run_pipeline`: a plain
+    module-level function of picklable arguments (plus detector factories),
+    so fleet worker processes can import and call it directly.
     """
     rng = np.random.default_rng(rng)
-    if sim is None:
-        sim = simulate_home(home_b(), n_days, rng)
     if defense_names is None:
         from .registry import defense_names as all_names
 
@@ -69,3 +67,21 @@ def run_pipeline(
             name, outcome, metered, occupancy, detectors
         )
     return PipelineResult(baseline=baseline, defenses=results)
+
+
+def run_pipeline(
+    sim: HomeSimulation | None = None,
+    defense_names: list[str] | None = None,
+    n_days: int = 7,
+    rng: np.random.Generator | int | None = None,
+    detectors=DEFAULT_DETECTORS,
+) -> PipelineResult:
+    """Evaluate defenses on a simulated home.
+
+    With no arguments: simulate the Fig. 1 Home-B for a week and sweep all
+    registered defenses.
+    """
+    rng = np.random.default_rng(rng)
+    if sim is None:
+        sim = simulate_home(home_b(), n_days, rng)
+    return evaluate_simulation(sim, defense_names, rng, detectors)

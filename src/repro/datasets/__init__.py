@@ -7,7 +7,7 @@ from .builders import (
     fig6_dataset,
     population_dataset,
 )
-from .io import load_trace_csv, save_trace_csv
+from .io import load_trace_csv, save_rows_csv, save_trace_csv
 
 __all__ = [
     "fig1_dataset",
@@ -16,5 +16,6 @@ __all__ = [
     "fig6_dataset",
     "population_dataset",
     "load_trace_csv",
+    "save_rows_csv",
     "save_trace_csv",
 ]

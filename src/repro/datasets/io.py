@@ -30,28 +30,66 @@ def save_trace_csv(trace: PowerTrace, path: str | Path) -> None:
 def load_trace_csv(path: str | Path, unit: str = "W") -> PowerTrace:
     """Read a trace written by :func:`save_trace_csv` (or compatible).
 
-    The file must have a header row and evenly spaced timestamps.
+    The file must have a header row and evenly spaced timestamps.  All
+    structural problems — an empty file, a missing or garbled header,
+    short or non-numeric rows — raise :class:`TraceError` naming the file
+    (and, for bad rows, the 1-based line number); callers never see a
+    bare ``ValueError`` or ``StopIteration`` from the parsing internals.
     """
     path = Path(path)
     times: list[float] = []
     values: list[float] = []
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
-        header = next(reader, None)
-        if header is None or [h.strip() for h in header[:2]] != list(HEADER):
-            raise TraceError(f"{path}: expected header {HEADER}")
+        try:
+            header = next(reader, None)
+        except csv.Error as exc:
+            raise TraceError(f"{path}:1: unreadable header: {exc}") from exc
+        if header is None:
+            raise TraceError(f"{path}: empty file (expected header {HEADER})")
+        if [h.strip() for h in header[:2]] != list(HEADER):
+            raise TraceError(
+                f"{path}:1: expected header {HEADER}, got {tuple(header[:2])!r}"
+            )
         for row_number, row in enumerate(reader, start=2):
             if not row:
                 continue
+            if len(row) < 2:
+                raise TraceError(
+                    f"{path}:{row_number}: expected 2 columns, got {len(row)} "
+                    f"in row {row!r}"
+                )
             try:
                 times.append(float(row[0]))
                 values.append(float(row[1]))
-            except (ValueError, IndexError) as exc:
-                raise TraceError(f"{path}:{row_number}: bad row {row!r}") from exc
+            except ValueError as exc:
+                raise TraceError(
+                    f"{path}:{row_number}: non-numeric row {row!r}"
+                ) from exc
     if len(values) < 2:
-        raise TraceError(f"{path}: need at least two samples")
+        raise TraceError(f"{path}: need at least two samples, got {len(values)}")
     diffs = np.diff(times)
     period = float(np.median(diffs))
+    if period <= 0:
+        raise TraceError(f"{path}: timestamps must be strictly increasing")
     if np.any(np.abs(diffs - period) > 1e-3 * period):
         raise TraceError(f"{path}: timestamps are not evenly spaced")
     return PowerTrace(np.asarray(values), period, times[0], unit)
+
+
+def save_rows_csv(
+    path: str | Path, header: tuple[str, ...] | list[str], rows: list[list]
+) -> None:
+    """Write a generic header+rows table (fleet reports, sweep exports).
+
+    Floats are written with full ``repr`` precision so round-tripped
+    reports compare exactly.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(
+                [repr(cell) if isinstance(cell, float) else cell for cell in row]
+            )

@@ -1,0 +1,58 @@
+"""Fleet-scale evaluation: many homes, worker processes, cached cells.
+
+The paper's threat model is utility-scale — an adversary (or an auditing
+utility) observes *populations* of homes, not one household.  This package
+turns the single-home pipeline into a population instrument:
+
+- :class:`FleetSpec` — declare N homes from the preset registry with
+  deterministic per-home ``SeedSequence.spawn`` seeding;
+- :class:`FleetRunner` / :func:`run_fleet` — chunked fan-out over a
+  process pool with serial fallback and an on-disk result cache;
+- :class:`FleetReport` — per-defense population distributions
+  (mean/median/p10/p90 of worst-case MCC, utility, energy cost).
+
+Quickstart::
+
+    from repro.fleet import FleetSpec, run_fleet, FleetReport
+    result = run_fleet(FleetSpec(n_homes=50, days=3, seed=0), workers=4)
+    print(FleetReport.from_result(result).format_table())
+"""
+
+from .cache import CACHE_FORMAT_VERSION, CacheStats, ResultCache, job_cache_key
+from .engine import (
+    FLEET_DETECTORS,
+    FleetResult,
+    FleetRunner,
+    HomeResult,
+    run_fleet,
+    run_home_job,
+    trace_digest,
+)
+from .report import (
+    BASELINE,
+    DefenseDistribution,
+    FleetReport,
+    PopulationStats,
+)
+from .spec import DEFAULT_FLEET_DETECTORS, FleetSpec, HomeJob
+
+__all__ = [
+    "BASELINE",
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "DEFAULT_FLEET_DETECTORS",
+    "DefenseDistribution",
+    "FLEET_DETECTORS",
+    "FleetReport",
+    "FleetResult",
+    "FleetRunner",
+    "FleetSpec",
+    "HomeJob",
+    "HomeResult",
+    "PopulationStats",
+    "ResultCache",
+    "job_cache_key",
+    "run_fleet",
+    "run_home_job",
+    "trace_digest",
+]

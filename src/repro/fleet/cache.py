@@ -1,0 +1,122 @@
+"""Content-addressed on-disk cache for per-home fleet results.
+
+A cache entry is keyed by *everything that determines the result*: the
+home config fingerprint, the simulated duration, the exact seed streams,
+the defense list, and the detector ensemble (plus a format version so
+stale entries from older layouts are ignored, not misread).  Re-running a
+sweep therefore only pays for cells that actually changed; widening a
+fleet, adding a defense, or bumping ``days`` recomputes exactly the new
+cells.
+
+Entries are stored as ``<cache_dir>/<k[:2]>/<key>.pkl`` (two-level fanout
+keeps directories small at fleet scale) and written atomically via a
+temp-file rename, so a crashed worker can never leave a torn entry that a
+later run would trust.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .spec import HomeJob
+
+#: bump when HomeResult's layout (or anything scoring-relevant that the
+#: key can't see) changes, invalidating every existing entry at once
+CACHE_FORMAT_VERSION = 1
+
+
+def _seed_state(seq: np.random.SeedSequence) -> list:
+    """The parts of a SeedSequence that determine its stream."""
+    entropy = seq.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = [int(e) for e in entropy]
+    else:
+        entropy = int(entropy)
+    return [entropy, [int(k) for k in seq.spawn_key], int(seq.pool_size)]
+
+
+def job_cache_key(job: HomeJob) -> str:
+    """Deterministic hex key for one home's (config, seeds, scoring) cell."""
+    doc = json.dumps(
+        {
+            "version": CACHE_FORMAT_VERSION,
+            "config": job.fingerprint,
+            "days": job.days,
+            "sim_seed": _seed_state(job.sim_seed),
+            "defense_seed": _seed_state(job.defense_seed),
+            "defenses": list(job.defenses),
+            "detectors": list(job.detectors),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one runner pass."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Pickle-backed store of per-home results under one directory."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """Cached value for ``key``, or None (corrupt entries count as misses)."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Atomically store ``value`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*/*.pkl"))

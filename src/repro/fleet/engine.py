@@ -1,0 +1,204 @@
+"""Chunked fleet execution: fan home jobs out over worker processes.
+
+:func:`run_home_job` is the unit of work — a module-level function of one
+picklable :class:`HomeJob`, so ``ProcessPoolExecutor`` can ship it to
+workers under either fork or spawn start methods.  :class:`FleetRunner`
+drives it: resolve the spec into jobs, satisfy what it can from the
+result cache, batch the misses to a process pool (``chunksize`` controls
+how many jobs ride per IPC round-trip), and fall back to in-process
+serial execution when ``workers <= 1`` or the platform cannot start a
+pool (restricted sandboxes, missing semaphores).
+
+Determinism: each job carries its own spawned seed streams, so the result
+for home *i* is bit-identical whether it ran serially, in any worker, in
+any chunk, or came from the cache.  The per-home ``trace_digest`` (SHA-256
+of the metered samples) is what the determinism tests compare.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from ..attacks.niom import HMMNIOM, ThresholdNIOM
+from ..core.evaluation import TradeoffPoint
+from ..core.pipeline import evaluate_simulation
+from ..home.household import simulate_home
+from ..timeseries import PowerTrace
+from .cache import CacheStats, ResultCache, job_cache_key
+from .spec import FleetSpec, HomeJob
+
+#: Name -> detector factory, resolved inside the worker so only names
+#: (not closures) ever cross the process boundary.  Mirrors
+#: ``core.evaluation.DEFAULT_DETECTORS``.
+FLEET_DETECTORS = {
+    "threshold-15m": lambda: ThresholdNIOM(night_prior=True),
+    "threshold-60m": lambda: ThresholdNIOM(window_s=3600.0, night_prior=True),
+    "hmm": lambda: HMMNIOM(rng=0),
+}
+
+
+def trace_digest(trace: PowerTrace) -> str:
+    """SHA-256 of a trace's samples and clock — the byte-identity check."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(trace.values).tobytes())
+    h.update(repr((trace.period_s, trace.start_s, len(trace))).encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class HomeResult:
+    """One home's scored outcome (what the cache stores)."""
+
+    index: int
+    preset: str
+    home_name: str
+    fingerprint: str
+    days: int
+    trace_digest: str
+    energy_kwh: float
+    baseline: TradeoffPoint
+    defenses: dict[str, TradeoffPoint]
+    from_cache: bool = False
+
+
+def run_home_job(job: HomeJob) -> HomeResult:
+    """Simulate, defend, and attack one home.  Runs inside workers."""
+    unknown = set(job.detectors) - set(FLEET_DETECTORS)
+    if unknown:
+        raise KeyError(f"unknown detectors: {sorted(unknown)}")
+    detectors = tuple((name, FLEET_DETECTORS[name]) for name in job.detectors)
+    sim = simulate_home(job.config, job.days, np.random.default_rng(job.sim_seed))
+    pipeline = evaluate_simulation(
+        sim,
+        list(job.defenses),
+        np.random.default_rng(job.defense_seed),
+        detectors,
+    )
+    return HomeResult(
+        index=job.index,
+        preset=job.preset,
+        home_name=job.config.name,
+        fingerprint=job.fingerprint,
+        days=job.days,
+        trace_digest=trace_digest(sim.metered),
+        energy_kwh=sim.metered.energy_kwh(),
+        baseline=pipeline.baseline,
+        defenses=pipeline.defenses,
+    )
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Everything one runner pass produced."""
+
+    spec: FleetSpec
+    homes: list[HomeResult]
+    elapsed_s: float
+    workers_used: int
+    executed: int
+    cache_stats: CacheStats | None = None
+
+    @property
+    def n_homes(self) -> int:
+        return len(self.homes)
+
+
+class FleetRunner:
+    """Execute a :class:`FleetSpec`, caching and parallelizing as asked.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``<= 1`` runs in-process serially (no pool, no
+        pickling).
+    chunksize:
+        Jobs batched per worker dispatch (larger amortizes IPC for many
+        small homes).
+    cache_dir:
+        Directory for the content-addressed result cache; ``None``
+        disables caching.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        chunksize: int = 1,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        self.workers = max(1, int(workers))
+        self.chunksize = int(chunksize)
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    def run(self, spec: FleetSpec) -> FleetResult:
+        """Evaluate the whole fleet and return ordered per-home results."""
+        start = time.perf_counter()
+        jobs = spec.jobs()
+        results: dict[int, HomeResult] = {}
+        pending: list[HomeJob] = []
+        keys: dict[int, str] = {}
+
+        for job in jobs:
+            if self.cache is None:
+                pending.append(job)
+                continue
+            key = job_cache_key(job)
+            keys[job.index] = key
+            hit = self.cache.get(key)
+            if hit is not None:
+                results[job.index] = replace(hit, from_cache=True)
+            else:
+                pending.append(job)
+
+        workers_used = 1
+        if pending:
+            fresh, workers_used = self._execute(pending)
+            for result in fresh:
+                results[result.index] = result
+                if self.cache is not None:
+                    self.cache.put(keys[result.index], result)
+
+        ordered = [results[job.index] for job in jobs]
+        return FleetResult(
+            spec=spec,
+            homes=ordered,
+            elapsed_s=time.perf_counter() - start,
+            workers_used=workers_used,
+            executed=len(pending),
+            cache_stats=self.cache.stats if self.cache is not None else None,
+        )
+
+    def _execute(self, jobs: list[HomeJob]) -> tuple[list[HomeResult], int]:
+        """Run jobs on a process pool, degrading to serial on any failure
+        to *start* the pool (results from a started pool are trusted)."""
+        if self.workers > 1 and len(jobs) > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    out = list(
+                        pool.map(run_home_job, jobs, chunksize=self.chunksize)
+                    )
+                return out, self.workers
+            except (OSError, PermissionError, ImportError, BrokenProcessPool):
+                # restricted platforms (no /dev/shm, no fork, no semaphores);
+                # a genuine job error re-raises identically from the serial
+                # path below, so nothing is masked
+                pass
+        return [run_home_job(job) for job in jobs], 1
+
+
+def run_fleet(
+    spec: FleetSpec,
+    workers: int = 1,
+    chunksize: int = 1,
+    cache_dir: str | Path | None = None,
+) -> FleetResult:
+    """One-call convenience: ``FleetRunner(...).run(spec)``."""
+    return FleetRunner(workers, chunksize, cache_dir).run(spec)

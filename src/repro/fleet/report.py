@@ -1,0 +1,215 @@
+"""Population-level reduction of per-home fleet results.
+
+A single home's :class:`~repro.core.evaluation.TradeoffPoint` answers "how
+exposed is *this* household"; a utility (or an adversary) cares about the
+*distribution* over its service territory.  :class:`FleetReport` reduces a
+:class:`~repro.fleet.engine.FleetResult` into per-defense population
+statistics — mean / median / p10 / p90 / min / max of worst-case attack
+MCC, analytics utility, and energy cost — and exports them as aligned
+text, JSON, or CSV.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .engine import FleetResult
+
+BASELINE = "baseline"
+
+
+@dataclass(frozen=True)
+class PopulationStats:
+    """Distribution summary of one scalar metric over the fleet."""
+
+    mean: float
+    median: float
+    p10: float
+    p90: float
+    min: float
+    max: float
+
+    @classmethod
+    def of(cls, values) -> "PopulationStats":
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            raise ValueError("no values to summarize")
+        return cls(
+            mean=float(arr.mean()),
+            median=float(np.median(arr)),
+            p10=float(np.percentile(arr, 10)),
+            p90=float(np.percentile(arr, 90)),
+            min=float(arr.min()),
+            max=float(arr.max()),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "p10": self.p10,
+            "p90": self.p90,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+@dataclass(frozen=True)
+class DefenseDistribution:
+    """One defense's population-wide tradeoff distributions."""
+
+    defense: str
+    worst_case_mcc: PopulationStats
+    utility: PopulationStats
+    extra_energy_kwh: PopulationStats
+
+    def as_dict(self) -> dict:
+        return {
+            "defense": self.defense,
+            "worst_case_mcc": self.worst_case_mcc.as_dict(),
+            "utility": self.utility.as_dict(),
+            "extra_energy_kwh": self.extra_energy_kwh.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """The population report: what ``repro fleet`` prints and exports."""
+
+    n_homes: int
+    days: int
+    seed: int
+    mix: tuple[str, ...]
+    distributions: dict[str, DefenseDistribution]  # baseline first
+    energy_kwh: PopulationStats
+    elapsed_s: float
+    workers_used: int
+    executed: int
+    cache: dict | None = None
+
+    @classmethod
+    def from_result(cls, result: FleetResult) -> "FleetReport":
+        homes = result.homes
+        if not homes:
+            raise ValueError("fleet result has no homes")
+
+        def dist(name: str, points) -> DefenseDistribution:
+            return DefenseDistribution(
+                defense=name,
+                worst_case_mcc=PopulationStats.of(
+                    [p.privacy.worst_case_mcc for p in points]
+                ),
+                utility=PopulationStats.of([p.utility.composite() for p in points]),
+                extra_energy_kwh=PopulationStats.of(
+                    [p.extra_energy_kwh for p in points]
+                ),
+            )
+
+        distributions = {BASELINE: dist(BASELINE, [h.baseline for h in homes])}
+        for name in homes[0].defenses:
+            distributions[name] = dist(name, [h.defenses[name] for h in homes])
+
+        return cls(
+            n_homes=len(homes),
+            days=result.spec.days,
+            seed=result.spec.seed,
+            mix=result.spec.mix,
+            distributions=distributions,
+            energy_kwh=PopulationStats.of([h.energy_kwh for h in homes]),
+            elapsed_s=result.elapsed_s,
+            workers_used=result.workers_used,
+            executed=result.executed,
+            cache=(
+                result.cache_stats.as_dict()
+                if result.cache_stats is not None
+                else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Comparisons and exports
+    # ------------------------------------------------------------------
+    def comparable(self, other: "FleetReport") -> bool:
+        """True when both reports describe identical population scores.
+
+        Runtime facts (wall-clock, worker count, cache hits) are excluded:
+        two runs of the same spec are "the same report" even if one was
+        parallel and one was cached.
+        """
+        return (
+            self.n_homes == other.n_homes
+            and self.days == other.days
+            and self.seed == other.seed
+            and self.mix == other.mix
+            and self.distributions == other.distributions
+            and self.energy_kwh == other.energy_kwh
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "n_homes": self.n_homes,
+            "days": self.days,
+            "seed": self.seed,
+            "mix": list(self.mix),
+            "defenses": [d.as_dict() for d in self.distributions.values()],
+            "energy_kwh": self.energy_kwh.as_dict(),
+            "elapsed_s": self.elapsed_s,
+            "workers_used": self.workers_used,
+            "executed": self.executed,
+            "cache": self.cache,
+        }
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        doc = json.dumps(self.as_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(doc + "\n")
+        return doc
+
+    CSV_HEADER = (
+        "defense",
+        "mcc_mean", "mcc_median", "mcc_p10", "mcc_p90",
+        "utility_mean", "utility_median", "utility_p10", "utility_p90",
+        "extra_kwh_mean", "extra_kwh_median",
+    )
+
+    def csv_rows(self) -> list[list]:
+        rows: list[list] = []
+        for dist in self.distributions.values():
+            rows.append(
+                [
+                    dist.defense,
+                    dist.worst_case_mcc.mean, dist.worst_case_mcc.median,
+                    dist.worst_case_mcc.p10, dist.worst_case_mcc.p90,
+                    dist.utility.mean, dist.utility.median,
+                    dist.utility.p10, dist.utility.p90,
+                    dist.extra_energy_kwh.mean, dist.extra_energy_kwh.median,
+                ]
+            )
+        return rows
+
+    def to_csv(self, path: str | Path) -> None:
+        from ..datasets.io import save_rows_csv
+
+        save_rows_csv(path, self.CSV_HEADER, self.csv_rows())
+
+    def format_table(self) -> str:
+        """Aligned text table of per-defense MCC/utility percentiles."""
+        header = (
+            f"{'defense':<12s} {'mcc mean':>9s} {'median':>7s} {'p10':>7s} "
+            f"{'p90':>7s} {'utility':>8s} {'kwh':>7s}"
+        )
+        lines = [header, "-" * len(header)]
+        for dist in self.distributions.values():
+            lines.append(
+                f"{dist.defense:<12s} {dist.worst_case_mcc.mean:>9.3f} "
+                f"{dist.worst_case_mcc.median:>7.3f} "
+                f"{dist.worst_case_mcc.p10:>7.3f} "
+                f"{dist.worst_case_mcc.p90:>7.3f} "
+                f"{dist.utility.mean:>8.3f} "
+                f"{dist.extra_energy_kwh.mean:>7.1f}"
+            )
+        return "\n".join(lines)

@@ -22,15 +22,19 @@ from .appliances import (
     TimeOfDayAffinity,
     UsagePattern,
 )
+from .fingerprint import config_fingerprint, fingerprint
 from .household import WATER_HEATER_NAME, HomeConfig, HomeSimulation, simulate_home
 from .meter import MeterConfig, NetMeter, SmartMeter
 from .occupancy import OccupancyConfig, OccupantProfile, simulate_occupancy
 from .presets import (
     FIG2_DEVICES,
+    PRESETS,
     fig2_home,
     fig6_home,
     home_a,
     home_b,
+    make_preset,
+    preset_names,
     random_home,
 )
 from .waterheater import (
@@ -69,10 +73,15 @@ __all__ = [
     "OccupantProfile",
     "simulate_occupancy",
     "FIG2_DEVICES",
+    "PRESETS",
+    "config_fingerprint",
+    "fingerprint",
     "fig2_home",
     "fig6_home",
     "home_a",
     "home_b",
+    "make_preset",
+    "preset_names",
     "random_home",
     "DrawConfig",
     "WaterHeaterConfig",

@@ -1,0 +1,72 @@
+"""Stable content hashing for household configurations.
+
+The fleet engine caches per-home results on disk keyed by *what was
+simulated*; that requires a fingerprint of a :class:`HomeConfig` that is
+stable across processes and interpreter restarts (``hash()`` is salted,
+``repr()`` of plain classes includes object ids).  The fingerprint walks
+the config's object graph — dataclasses, plain attribute-bag objects
+(appliances), tuples, dicts, numpy arrays, scalars — into a canonical
+JSON document and hashes that.
+
+Two configs fingerprint equal iff they would simulate identically (same
+classes, same parameters); renaming a class or changing a default changes
+the fingerprint, which is exactly the cache-invalidation behavior we want.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+
+from .household import HomeConfig
+
+
+def _canonical(obj) -> object:
+    """Reduce an object graph to JSON-encodable canonical form."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips float64 exactly; avoids JSON float formatting drift
+        return {"~f": repr(obj)}
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return {"~f": repr(float(obj))}
+    if isinstance(obj, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest()
+        return {"~nd": [str(obj.dtype), list(obj.shape), digest]}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return {"~set": sorted(json.dumps(_canonical(i), sort_keys=True) for i in obj)}
+    if isinstance(obj, dict):
+        return {
+            "~dict": [
+                [_canonical(k), _canonical(v)]
+                for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+            ]
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"~obj": type(obj).__name__, "fields": {"~dict": sorted(fields.items())}}
+    if hasattr(obj, "__dict__"):
+        fields = {k: _canonical(v) for k, v in sorted(vars(obj).items())}
+        return {"~obj": type(obj).__name__, "fields": {"~dict": sorted(fields.items())}}
+    raise TypeError(f"cannot fingerprint {type(obj).__name__!r}")
+
+
+def fingerprint(obj) -> str:
+    """SHA-256 hex digest of an object graph's canonical form."""
+    doc = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+def config_fingerprint(config: HomeConfig) -> str:
+    """Stable hex fingerprint of a household configuration."""
+    return fingerprint(config)

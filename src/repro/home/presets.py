@@ -276,3 +276,43 @@ def random_home(rng: np.random.Generator | int | None = None) -> HomeConfig:
         appliances=tuple(appliances),
         occupancy=OccupancyConfig(occupants=tuple(occupants)),
     )
+
+
+# ---------------------------------------------------------------------------
+# Preset registry — the single source of truth for "--home" style choices.
+# The CLI subparsers and the fleet specification both draw from this, so a
+# new preset registered here is immediately available everywhere.
+# ---------------------------------------------------------------------------
+PRESETS: dict[str, object] = {
+    "home-a": home_a,
+    "home-b": home_b,
+    "fig2": fig2_home,
+    "fig6": fig6_home,
+    "random": random_home,
+}
+
+# presets whose factory consumes randomness (and therefore takes an rng)
+RANDOMIZED_PRESETS = frozenset({"random"})
+
+
+def preset_names() -> list[str]:
+    """Registered home-preset names, in registration order."""
+    return list(PRESETS)
+
+
+def make_preset(
+    name: str, rng: np.random.Generator | int | None = None
+) -> HomeConfig:
+    """Instantiate a preset by name.
+
+    ``rng`` only matters for randomized presets (``random``); fixed presets
+    ignore it, so callers can pass one unconditionally.
+    """
+    if name not in PRESETS:
+        raise KeyError(
+            f"unknown home preset {name!r}; available: {', '.join(PRESETS)}"
+        )
+    factory = PRESETS[name]
+    if name in RANDOMIZED_PRESETS:
+        return factory(rng)
+    return factory()

@@ -184,3 +184,40 @@ class TestTraceIO:
         path.write_text("time_s,power_w\n0,1\n")
         with pytest.raises(TraceError):
             load_trace_csv(path)
+
+    def test_empty_file_rejected_clearly(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty file"):
+            load_trace_csv(path)
+
+    def test_garbled_header_names_expectation(self, tmp_path):
+        path = tmp_path / "garbled.csv"
+        path.write_text("timestamp;watts\n0,1\n60,2\n")
+        with pytest.raises(TraceError, match="expected header"):
+            load_trace_csv(path)
+
+    def test_non_numeric_row_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad_row.csv"
+        path.write_text("time_s,power_w\n0,1\n60,oops\n120,3\n")
+        with pytest.raises(TraceError, match=r":3: non-numeric"):
+            load_trace_csv(path)
+
+    def test_short_row_reports_line_number(self, tmp_path):
+        path = tmp_path / "short_row.csv"
+        path.write_text("time_s,power_w\n0,1\n60\n")
+        with pytest.raises(TraceError, match=r":3: expected 2 columns"):
+            load_trace_csv(path)
+
+    def test_save_rows_csv_round_trips_floats(self, tmp_path):
+        import csv
+
+        from repro.datasets import save_rows_csv
+
+        path = tmp_path / "rows.csv"
+        save_rows_csv(path, ("name", "value"), [["a", 0.1 + 0.2], ["b", 3]])
+        with path.open(newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["name", "value"]
+        assert float(rows[1][1]) == 0.1 + 0.2
+        assert rows[2] == ["b", "3"]
