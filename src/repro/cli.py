@@ -75,16 +75,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (<=1 runs serially in-process)")
     p.add_argument("--chunksize", type=int, default=1,
-                   help="homes batched per worker dispatch")
+                   help="kept for compatibility; the supervised engine "
+                   "dispatches per-home so each home fails independently")
     p.add_argument("--mix", default="random",
                    help="comma-separated preset names cycled over the fleet "
                    f"(from: {', '.join(preset_names())})")
     p.add_argument("--defenses", default="all",
                    help="comma-separated defense names, or 'all'")
     p.add_argument("--cache-dir", default=None,
-                   help="result-cache directory (re-sweeps only pay for new cells)")
-    p.add_argument("--csv", default=None, help="export the report as CSV")
-    p.add_argument("--json", default=None, help="export the report as JSON")
+                   help="result-cache directory (re-sweeps only pay for new "
+                   "cells; results stream in as they complete, so a killed "
+                   "run resumes from what finished)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retries per home after its first failed attempt")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="per-home wall-clock timeout in seconds (needs "
+                   "--workers > 1; hung jobs are killed and retried)")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="abort the sweep at the first permanent home failure "
+                   "(default: keep going, report partial results)")
+    p.add_argument("--csv", default=None,
+                   help="export the report as CSV (failures, if any, go to "
+                   "a sibling .failures.csv)")
+    p.add_argument("--json", default=None,
+                   help="export the report as JSON (includes the failure summary)")
 
     sub.add_parser("info", help="list registered attacks, defenses, presets")
     return parser
@@ -223,27 +237,49 @@ def cmd_fleet(args) -> int:
         workers=args.workers,
         chunksize=args.chunksize,
         cache_dir=args.cache_dir,
+        max_retries=args.max_retries,
+        job_timeout=args.job_timeout,
+        fail_fast=args.fail_fast,
     )
+
+    def print_failures():
+        for failure in result.failures:
+            print(f"  FAILED home {failure.index} ({failure.preset}): "
+                  f"{failure.kind} after {failure.attempts} attempt(s) "
+                  f"in {failure.elapsed_s:.1f}s — {failure.error}")
+
+    if not result.homes:
+        print(f"fleet: all {result.n_failed} home(s) failed; no report")
+        print_failures()
+        return 1
+
     report = FleetReport.from_result(result)
+    total = report.n_homes + report.n_failed
     print(f"fleet: {report.n_homes} homes x {report.days} days "
           f"(mix: {', '.join(report.mix)}; seed {report.seed})")
     print(report.format_table())
     print(f"population energy: mean {report.energy_kwh.mean:.1f} kWh "
           f"(p10 {report.energy_kwh.p10:.1f}, p90 {report.energy_kwh.p90:.1f})")
-    cached = report.n_homes - report.executed
-    line = (f"ran {report.executed}/{report.n_homes} homes "
+    cached = total - report.executed
+    line = (f"ran {report.executed}/{total} homes "
             f"({cached} cached) on {report.workers_used} worker(s) "
             f"in {report.elapsed_s:.2f}s")
     if report.cache is not None:
         line += f"; cache hit rate {report.cache['hit_rate']:.0%}"
+    if report.pool_rebuilds:
+        line += f"; {report.pool_rebuilds} pool rebuild(s)"
     print(line)
+    if report.failures:
+        print(f"WARNING: {report.n_failed}/{total} home(s) failed "
+              "(distributions cover survivors only)")
+        print_failures()
     if args.csv:
-        report.to_csv(args.csv)
-        print(f"report CSV written to {args.csv}")
+        for path in report.to_csv(args.csv):
+            print(f"report CSV written to {path}")
     if args.json:
         report.to_json(args.json)
         print(f"report JSON written to {args.json}")
-    return 0
+    return 1 if report.failures else 0
 
 
 def cmd_info(args) -> int:

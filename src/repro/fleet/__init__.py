@@ -6,10 +6,17 @@ turns the single-home pipeline into a population instrument:
 
 - :class:`FleetSpec` — declare N homes from the preset registry with
   deterministic per-home ``SeedSequence.spawn`` seeding;
-- :class:`FleetRunner` / :func:`run_fleet` — chunked fan-out over a
-  process pool with serial fallback and an on-disk result cache;
+- :class:`FleetRunner` / :func:`run_fleet` — *supervised* fan-out over a
+  process pool: per-home failure isolation, bounded retries with
+  backoff, per-job wall-clock timeouts, pool rebuild after worker
+  crashes, streaming writes to an on-disk result cache, and a serial
+  fallback for pool-less platforms;
 - :class:`FleetReport` — per-defense population distributions
-  (mean/median/p10/p90 of worst-case MCC, utility, energy cost).
+  (mean/median/p10/p90 of worst-case MCC, utility, energy cost) plus
+  the sweep's :class:`HomeFailure` records;
+- :mod:`repro.fleet.faults` — deterministic fault injection (worker
+  errors, crashes, hangs) so the recovery paths above are *tested*, not
+  trusted.
 
 Quickstart::
 
@@ -23,11 +30,13 @@ from .engine import (
     FLEET_DETECTORS,
     FleetResult,
     FleetRunner,
+    HomeFailure,
     HomeResult,
     run_fleet,
     run_home_job,
     trace_digest,
 )
+from .faults import FAULTS_ENV, FaultInjected, FaultPlan
 from .report import (
     BASELINE,
     DefenseDistribution,
@@ -42,11 +51,15 @@ __all__ = [
     "CacheStats",
     "DEFAULT_FLEET_DETECTORS",
     "DefenseDistribution",
+    "FAULTS_ENV",
     "FLEET_DETECTORS",
+    "FaultInjected",
+    "FaultPlan",
     "FleetReport",
     "FleetResult",
     "FleetRunner",
     "FleetSpec",
+    "HomeFailure",
     "HomeJob",
     "HomeResult",
     "PopulationStats",

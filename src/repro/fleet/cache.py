@@ -28,8 +28,10 @@ import numpy as np
 from .spec import HomeJob
 
 #: bump when HomeResult's layout (or anything scoring-relevant that the
-#: key can't see) changes, invalidating every existing entry at once
-CACHE_FORMAT_VERSION = 1
+#: key can't see) changes, invalidating every existing entry at once.
+#: v2: entries are wrapped in a versioned envelope so reads can verify
+#: *what* they loaded, not just that it unpickled.
+CACHE_FORMAT_VERSION = 2
 
 
 def _seed_state(seq: np.random.SeedSequence) -> list:
@@ -97,24 +99,51 @@ class ResultCache:
         return self.cache_dir / key[:2] / f"{key}.pkl"
 
     def get(self, key: str):
-        """Cached value for ``key``, or None (corrupt entries count as misses)."""
+        """Cached :class:`~repro.fleet.engine.HomeResult` for ``key``, or None.
+
+        Anything short of a well-formed envelope holding a ``HomeResult``
+        of the current format version is treated as a miss: unreadable
+        files, torn/truncated pickles, *and* corrupt-but-loadable objects
+        (wrong type, stale envelope).  A cache read must never be able to
+        poison — or abort — a sweep, so load errors are swallowed wholesale
+        rather than enumerated.
+        """
         path = self._path(key)
         try:
             with path.open("rb") as handle:
                 value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except Exception:  # noqa: BLE001 — any unreadable entry is a miss
+            self.stats.misses += 1
+            return None
+        result = self._validate(value)
+        if result is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return value
+        return result
+
+    @staticmethod
+    def _validate(value):
+        """The envelope's ``HomeResult`` if the entry is trustworthy."""
+        from .engine import HomeResult  # function-level: engine imports us
+
+        if not isinstance(value, dict):
+            return None
+        if value.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        result = value.get("result")
+        if not isinstance(result, HomeResult):
+            return None
+        return result
 
     def put(self, key: str, value) -> None:
-        """Atomically store ``value`` under ``key``."""
+        """Atomically store ``value`` under ``key`` in a versioned envelope."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        envelope = {"format": CACHE_FORMAT_VERSION, "result": value}
         with tmp.open("wb") as handle:
-            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
         self.stats.stores += 1
 

@@ -1,28 +1,46 @@
-"""Chunked fleet execution: fan home jobs out over worker processes.
+"""Supervised fleet execution: fan home jobs out over worker processes.
 
 :func:`run_home_job` is the unit of work — a module-level function of one
 picklable :class:`HomeJob`, so ``ProcessPoolExecutor`` can ship it to
 workers under either fork or spawn start methods.  :class:`FleetRunner`
-drives it: resolve the spec into jobs, satisfy what it can from the
-result cache, batch the misses to a process pool (``chunksize`` controls
-how many jobs ride per IPC round-trip), and fall back to in-process
-serial execution when ``workers <= 1`` or the platform cannot start a
-pool (restricted sandboxes, missing semaphores).
+drives it with a *supervisor loop* rather than ``pool.map``: every job is
+submitted individually and each home succeeds or fails on its own.
+
+Failure isolation semantics (see DESIGN.md "Failure semantics"):
+
+* a job that raises is retried up to ``max_retries`` times with
+  exponential backoff, then recorded as a :class:`HomeFailure` — the
+  sweep keeps going and returns partial results plus the failure report;
+* a worker process that dies (segfault, OOM kill, ``os._exit``) breaks
+  the pool; the supervisor rebuilds the pool and requeues only the jobs
+  that were in flight, running them one-at-a-time until the culprit is
+  identified (innocent bystanders complete, the poison pill exhausts its
+  attempts alone);
+* a job that exceeds ``job_timeout`` wall-clock seconds has its pool torn
+  down (hung workers cannot be cancelled), is charged an attempt, and the
+  other in-flight jobs are requeued uncharged;
+* results stream into the cache the moment each home completes, so a
+  killed sweep resumes from whatever finished.
 
 Determinism: each job carries its own spawned seed streams, so the result
-for home *i* is bit-identical whether it ran serially, in any worker, in
-any chunk, or came from the cache.  The per-home ``trace_digest`` (SHA-256
-of the metered samples) is what the determinism tests compare.
+for home *i* is bit-identical whether it ran serially, in any worker,
+first-try, after a retry, or came from the cache.  The per-home
+``trace_digest`` (SHA-256 of the metered samples) is what the determinism
+tests compare.  Fault injection (:mod:`repro.fleet.faults`) fires before
+any simulation work, preserving that contract.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -32,6 +50,7 @@ from ..core.pipeline import evaluate_simulation
 from ..home.household import simulate_home
 from ..timeseries import PowerTrace
 from .cache import CacheStats, ResultCache, job_cache_key
+from .faults import FAULTS_ENV, FaultPlan, maybe_inject
 from .spec import FleetSpec, HomeJob
 
 #: Name -> detector factory, resolved inside the worker so only names
@@ -68,11 +87,44 @@ class HomeResult:
     from_cache: bool = False
 
 
+@dataclass(frozen=True)
+class HomeFailure:
+    """One home's permanent failure record (the sweep's post-mortem row).
+
+    ``kind`` is what gave up: ``error`` (the job raised on every
+    attempt), ``crash`` (its worker process died), ``timeout`` (it
+    exceeded the per-job wall clock), or ``aborted`` (fail-fast cancelled
+    it before a verdict).
+    """
+
+    index: int
+    preset: str
+    kind: str
+    error: str
+    attempts: int
+    elapsed_s: float
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "preset": self.preset,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
 def run_home_job(job: HomeJob) -> HomeResult:
-    """Simulate, defend, and attack one home.  Runs inside workers."""
-    unknown = set(job.detectors) - set(FLEET_DETECTORS)
-    if unknown:
-        raise KeyError(f"unknown detectors: {sorted(unknown)}")
+    """Simulate, defend, and attack one home.  Runs inside workers.
+
+    Detector names are validated by :class:`~repro.fleet.spec.FleetSpec`
+    and :meth:`FleetRunner.run` *before* dispatch, so workers never pay
+    for (or crash on) a misspelled ensemble.  Fault injection, when armed
+    via :data:`~repro.fleet.faults.FAULTS_ENV`, fires before any
+    simulation work so a retried job reproduces its result exactly.
+    """
+    maybe_inject(job.index, job.attempt)
     detectors = tuple((name, FLEET_DETECTORS[name]) for name in job.detectors)
     sim = simulate_home(job.config, job.days, np.random.default_rng(job.sim_seed))
     pipeline = evaluate_simulation(
@@ -96,7 +148,7 @@ def run_home_job(job: HomeJob) -> HomeResult:
 
 @dataclass(frozen=True)
 class FleetResult:
-    """Everything one runner pass produced."""
+    """Everything one runner pass produced — including its casualties."""
 
     spec: FleetSpec
     homes: list[HomeResult]
@@ -104,43 +156,116 @@ class FleetResult:
     workers_used: int
     executed: int
     cache_stats: CacheStats | None = None
+    failures: tuple[HomeFailure, ...] = ()
+    pool_rebuilds: int = 0
 
     @property
     def n_homes(self) -> int:
         return len(self.homes)
 
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class _JobState:
+    """Supervisor-side bookkeeping for one job's attempts."""
+
+    job: HomeJob
+    attempts: int = 0  # failed attempts so far; next try runs as this number
+    not_before: float = 0.0  # monotonic backoff gate for the next submit
+    started: float = 0.0  # monotonic submit time of the current attempt
+    first_start: float | None = None
+
+    def elapsed(self, now: float) -> float:
+        return now - (self.first_start if self.first_start is not None else now)
+
 
 class FleetRunner:
-    """Execute a :class:`FleetSpec`, caching and parallelizing as asked.
+    """Execute a :class:`FleetSpec` under supervision, caching as asked.
 
     Parameters
     ----------
     workers:
         Process count; ``<= 1`` runs in-process serially (no pool, no
-        pickling).
+        pickling, and — since the job shares our process — no crash or
+        hang protection, only retries).
     chunksize:
-        Jobs batched per worker dispatch (larger amortizes IPC for many
-        small homes).
+        Accepted for API compatibility with the chunked dispatcher this
+        engine replaced.  Supervised dispatch submits per-job so each
+        home fails independently; batching jobs would couple their fates.
     cache_dir:
         Directory for the content-addressed result cache; ``None``
-        disables caching.
+        disables caching.  Results stream into the cache as they
+        complete, so a killed run resumes from what finished.
+    max_retries:
+        Retries after the first failed attempt (total tries =
+        ``max_retries + 1``).
+    job_timeout:
+        Per-job wall-clock seconds before a running job is declared hung
+        and its pool torn down; ``None`` disables.  Only enforced with
+        ``workers > 1`` (a hung in-process job cannot be interrupted).
+    fail_fast:
+        Abort the sweep at the first permanent failure; unfinished homes
+        are recorded as ``aborted`` failures.
+    retry_backoff_s:
+        Base of the exponential backoff (delay before retry *n* is
+        ``retry_backoff_s * 2**(n-1)``).  Deterministic — no jitter — so
+        runs are reproducible.
+    faults:
+        Optional :class:`~repro.fleet.faults.FaultPlan` exported through
+        the environment for the duration of the run (the test harness's
+        hook; production sweeps leave it ``None``).
     """
+
+    #: supervisor wake-up period: bounds timeout/backoff enforcement lag
+    POLL_S = 0.05
+    #: cap on any single backoff sleep
+    MAX_BACKOFF_S = 30.0
 
     def __init__(
         self,
         workers: int = 1,
         chunksize: int = 1,
         cache_dir: str | Path | None = None,
+        *,
+        max_retries: int = 2,
+        job_timeout: float | None = None,
+        fail_fast: bool = False,
+        retry_backoff_s: float = 0.05,
+        faults: FaultPlan | None = None,
     ) -> None:
         if chunksize < 1:
             raise ValueError("chunksize must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None)")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         self.workers = max(1, int(workers))
         self.chunksize = int(chunksize)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.max_retries = int(max_retries)
+        self.job_timeout = job_timeout
+        self.fail_fast = bool(fail_fast)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.faults = faults
 
     def run(self, spec: FleetSpec) -> FleetResult:
-        """Evaluate the whole fleet and return ordered per-home results."""
+        """Evaluate the whole fleet; per-home results plus failure report."""
         start = time.perf_counter()
+        unknown = set(spec.detectors) - set(FLEET_DETECTORS)
+        if unknown:
+            raise ValueError(
+                f"unknown detectors: {sorted(unknown)}; "
+                f"available: {sorted(FLEET_DETECTORS)}"
+            )
         jobs = spec.jobs()
         results: dict[int, HomeResult] = {}
         pending: list[HomeJob] = []
@@ -158,15 +283,21 @@ class FleetRunner:
             else:
                 pending.append(job)
 
-        workers_used = 1
-        if pending:
-            fresh, workers_used = self._execute(pending)
-            for result in fresh:
-                results[result.index] = result
-                if self.cache is not None:
-                    self.cache.put(keys[result.index], result)
+        def store(result: HomeResult) -> None:
+            # streaming sink: cache immediately so a killed run resumes
+            results[result.index] = result
+            if self.cache is not None:
+                self.cache.put(keys[result.index], result)
 
-        ordered = [results[job.index] for job in jobs]
+        failures: list[HomeFailure] = []
+        workers_used = 1
+        rebuilds = 0
+        if pending:
+            failures, workers_used, rebuilds = self._execute(pending, store)
+
+        ordered = [
+            results[job.index] for job in jobs if job.index in results
+        ]
         return FleetResult(
             spec=spec,
             homes=ordered,
@@ -174,24 +305,360 @@ class FleetRunner:
             workers_used=workers_used,
             executed=len(pending),
             cache_stats=self.cache.stats if self.cache is not None else None,
+            failures=tuple(sorted(failures, key=lambda f: f.index)),
+            pool_rebuilds=rebuilds,
         )
 
-    def _execute(self, jobs: list[HomeJob]) -> tuple[list[HomeResult], int]:
-        """Run jobs on a process pool, degrading to serial on any failure
-        to *start* the pool (results from a started pool are trusted)."""
-        if self.workers > 1 and len(jobs) > 1:
-            try:
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    out = list(
-                        pool.map(run_home_job, jobs, chunksize=self.chunksize)
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _faults_exported(self):
+        """Arm ``self.faults`` through the env for workers to inherit."""
+        if self.faults is None:
+            yield
+            return
+        previous = os.environ.get(FAULTS_ENV)
+        os.environ[FAULTS_ENV] = self.faults.to_json()
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop(FAULTS_ENV, None)
+            else:
+                os.environ[FAULTS_ENV] = previous
+
+    def _execute(
+        self, jobs: list[HomeJob], on_result: Callable[[HomeResult], None]
+    ) -> tuple[list[HomeFailure], int, int]:
+        """Run jobs under supervision; returns (failures, workers, rebuilds).
+
+        Degrades to the serial loop when a pool cannot be *started*
+        (restricted sandboxes, missing semaphores); pool failures
+        mid-run are handled by the supervisor itself.
+        """
+        with self._faults_exported():
+            if self.workers > 1 and len(jobs) > 1:
+                pool = self._new_pool()
+                if pool is not None:
+                    failures, rebuilds = self._run_supervised(
+                        pool, [_JobState(job) for job in jobs], on_result
                     )
-                return out, self.workers
-            except (OSError, PermissionError, ImportError, BrokenProcessPool):
-                # restricted platforms (no /dev/shm, no fork, no semaphores);
-                # a genuine job error re-raises identically from the serial
-                # path below, so nothing is masked
-                pass
-        return [run_home_job(job) for job in jobs], 1
+                    return failures, self.workers, rebuilds
+            failures = self._run_serial(
+                [_JobState(job) for job in jobs], on_result
+            )
+            return failures, 1, 0
+
+    def _new_pool(self) -> ProcessPoolExecutor | None:
+        try:
+            return ProcessPoolExecutor(max_workers=self.workers)
+        except (OSError, PermissionError, ImportError):
+            return None
+
+    def _backoff(self, attempts: int) -> float:
+        return min(
+            self.retry_backoff_s * (2 ** max(0, attempts - 1)),
+            self.MAX_BACKOFF_S,
+        )
+
+    def _charge(
+        self,
+        state: _JobState,
+        kind: str,
+        error: str,
+        failures: list[HomeFailure],
+        now: float,
+    ) -> bool:
+        """Record a failed attempt; True when the job is out of retries."""
+        state.attempts += 1
+        if state.attempts > self.max_retries:
+            failures.append(
+                HomeFailure(
+                    index=state.job.index,
+                    preset=state.job.preset,
+                    kind=kind,
+                    error=error,
+                    attempts=state.attempts,
+                    elapsed_s=state.elapsed(now),
+                )
+            )
+            return True
+        state.not_before = now + self._backoff(state.attempts)
+        return False
+
+    def _abort_rest(
+        self,
+        states: list[_JobState],
+        failures: list[HomeFailure],
+        now: float,
+        culprit: int,
+    ) -> None:
+        """fail-fast: mark every unfinished job as aborted."""
+        for state in states:
+            failures.append(
+                HomeFailure(
+                    index=state.job.index,
+                    preset=state.job.preset,
+                    kind="aborted",
+                    error=f"aborted by fail-fast after home {culprit} failed",
+                    attempts=state.attempts,
+                    elapsed_s=state.elapsed(now),
+                )
+            )
+
+    # -- serial path ----------------------------------------------------
+    def _run_serial(
+        self,
+        states: list[_JobState],
+        on_result: Callable[[HomeResult], None],
+    ) -> list[HomeFailure]:
+        """In-process supervised loop: retries only (no crash/hang guard)."""
+        failures: list[HomeFailure] = []
+        for position, state in enumerate(states):
+            state.first_start = time.monotonic()
+            while True:
+                try:
+                    result = run_home_job(
+                        replace(state.job, attempt=state.attempts)
+                    )
+                except Exception as exc:  # noqa: BLE001 — isolate per home
+                    now = time.monotonic()
+                    if self._charge(state, "error", repr(exc), failures, now):
+                        if self.fail_fast:
+                            self._abort_rest(
+                                states[position + 1 :],
+                                failures,
+                                now,
+                                state.job.index,
+                            )
+                            return failures
+                        break
+                    time.sleep(max(0.0, state.not_before - now))
+                else:
+                    on_result(result)
+                    break
+        return failures
+
+    # -- supervised pool path -------------------------------------------
+    def _run_supervised(
+        self,
+        pool: ProcessPoolExecutor,
+        states: list[_JobState],
+        on_result: Callable[[HomeResult], None],
+    ) -> tuple[list[HomeFailure], int]:
+        """The supervisor loop: per-job submit, isolation, rebuild, retry.
+
+        ``queue`` holds runnable jobs; ``isolation`` holds crash suspects.
+        A pool crash with several jobs in flight cannot be attributed to
+        one of them, so all of them are quarantined *uncharged* and re-run
+        one-at-a-time; a crash with a single job in flight is attributable
+        and charges that job alone.  Innocent bystanders therefore always
+        complete, and a poison pill exhausts its attempts by itself.
+        """
+        failures: list[HomeFailure] = []
+        queue: list[_JobState] = list(states)
+        isolation: list[_JobState] = []
+        inflight: dict = {}
+        rebuilds = 0
+
+        def submit(state: _JobState) -> None:
+            fut = pool.submit(
+                run_home_job, replace(state.job, attempt=state.attempts)
+            )
+            state.started = time.monotonic()
+            if state.first_start is None:
+                state.first_start = state.started
+            inflight[fut] = state
+
+        def teardown(kill: bool) -> None:
+            # a broken pool's processes are already gone; a hung pool's
+            # must be terminated or shutdown would never return
+            if kill:
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    proc.terminate()
+            pool.shutdown(wait=True, cancel_futures=True)
+
+        def rebuild() -> bool:
+            nonlocal pool, rebuilds
+            rebuilds += 1
+            fresh = self._new_pool()
+            if fresh is None:
+                return False
+            pool = fresh
+            return True
+
+        try:
+            while queue or isolation or inflight:
+                now = time.monotonic()
+
+                # fill worker slots; suspects run strictly one-at-a-time.
+                # A submit-time BrokenProcessPool puts the state back and
+                # lets the in-flight futures (which all carry the broken
+                # marker by now) drive the crash handling below.
+                pool_broke_on_submit = False
+                if isolation:
+                    if not inflight and isolation[0].not_before <= now:
+                        state = isolation.pop(0)
+                        try:
+                            submit(state)
+                        except BrokenProcessPool:
+                            isolation.insert(0, state)
+                            pool_broke_on_submit = True
+                else:
+                    while len(inflight) < self.workers:
+                        ready = next(
+                            (
+                                i
+                                for i, s in enumerate(queue)
+                                if s.not_before <= now
+                            ),
+                            None,
+                        )
+                        if ready is None:
+                            break
+                        state = queue.pop(ready)
+                        try:
+                            submit(state)
+                        except BrokenProcessPool:
+                            queue.insert(0, state)
+                            pool_broke_on_submit = True
+                            break
+
+                if pool_broke_on_submit and not inflight:
+                    # broken pool with nothing running: nobody to blame
+                    teardown(kill=False)
+                    if not rebuild():
+                        failures.extend(
+                            self._run_serial(isolation + queue, on_result)
+                        )
+                        return failures, rebuilds
+                    continue
+
+                if inflight:
+                    done, _ = wait(
+                        list(inflight),
+                        timeout=self.POLL_S,
+                        return_when=FIRST_COMPLETED,
+                    )
+                else:
+                    if not queue and not isolation:
+                        break
+                    time.sleep(self.POLL_S)
+                    done = ()
+
+                crash_victims: list[_JobState] = []
+                for fut in done:
+                    state = inflight.pop(fut)
+                    now = time.monotonic()
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool:
+                        crash_victims.append(state)
+                    except Exception as exc:  # noqa: BLE001 — isolate per home
+                        if self._charge(
+                            state, "error", repr(exc), failures, now
+                        ):
+                            if self.fail_fast:
+                                remaining = (
+                                    list(inflight.values())
+                                    + crash_victims
+                                    + isolation
+                                    + queue
+                                )
+                                teardown(kill=True)
+                                self._abort_rest(
+                                    remaining, failures, now, state.job.index
+                                )
+                                return failures, rebuilds
+                        else:
+                            queue.append(state)
+                    else:
+                        on_result(result)
+
+                now = time.monotonic()
+                if crash_victims:
+                    # whatever else was in flight died with the pool too
+                    victims = crash_victims + list(inflight.values())
+                    inflight.clear()
+                    if len(victims) == 1:
+                        # attributable: exactly one job was running
+                        state = victims[0]
+                        if self._charge(
+                            state,
+                            "crash",
+                            "worker process died (BrokenProcessPool)",
+                            failures,
+                            now,
+                        ):
+                            if self.fail_fast:
+                                teardown(kill=False)
+                                self._abort_rest(
+                                    isolation + queue,
+                                    failures,
+                                    now,
+                                    state.job.index,
+                                )
+                                return failures, rebuilds
+                        else:
+                            isolation.insert(0, state)
+                    else:
+                        isolation.extend(victims)
+                    teardown(kill=False)
+                    if not rebuild():
+                        # can no longer start pools: finish serially
+                        failures.extend(
+                            self._run_serial(isolation + queue, on_result)
+                        )
+                        return failures, rebuilds
+                    continue
+
+                if self.job_timeout is not None and inflight:
+                    hung = {
+                        fut: state
+                        for fut, state in inflight.items()
+                        if now - state.started > self.job_timeout
+                    }
+                    if hung:
+                        # hung workers cannot be cancelled: kill the pool,
+                        # charge the hung jobs, requeue innocents uncharged
+                        innocents = [
+                            state
+                            for fut, state in inflight.items()
+                            if fut not in hung
+                        ]
+                        inflight.clear()
+                        teardown(kill=True)
+                        culprit = None
+                        for state in hung.values():
+                            if self._charge(
+                                state,
+                                "timeout",
+                                f"job exceeded {self.job_timeout:.1f}s "
+                                "wall-clock timeout",
+                                failures,
+                                now,
+                            ):
+                                culprit = state.job.index
+                            else:
+                                queue.append(state)
+                        if culprit is not None and self.fail_fast:
+                            self._abort_rest(
+                                innocents + isolation + queue,
+                                failures,
+                                now,
+                                culprit,
+                            )
+                            return failures, rebuilds
+                        queue[:0] = innocents
+                        if not rebuild():
+                            failures.extend(
+                                self._run_serial(isolation + queue, on_result)
+                            )
+                            return failures, rebuilds
+            return failures, rebuilds
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
 
 
 def run_fleet(
@@ -199,6 +666,12 @@ def run_fleet(
     workers: int = 1,
     chunksize: int = 1,
     cache_dir: str | Path | None = None,
+    **supervisor: object,
 ) -> FleetResult:
-    """One-call convenience: ``FleetRunner(...).run(spec)``."""
-    return FleetRunner(workers, chunksize, cache_dir).run(spec)
+    """One-call convenience: ``FleetRunner(...).run(spec)``.
+
+    Keyword arguments beyond the first three (``max_retries``,
+    ``job_timeout``, ``fail_fast``, ``retry_backoff_s``, ``faults``) are
+    forwarded to :class:`FleetRunner`.
+    """
+    return FleetRunner(workers, chunksize, cache_dir, **supervisor).run(spec)

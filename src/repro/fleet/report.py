@@ -17,7 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
-from .engine import FleetResult
+from .engine import FleetResult, HomeFailure
 
 BASELINE = "baseline"
 
@@ -78,7 +78,13 @@ class DefenseDistribution:
 
 @dataclass(frozen=True)
 class FleetReport:
-    """The population report: what ``repro fleet`` prints and exports."""
+    """The population report: what ``repro fleet`` prints and exports.
+
+    Distributions summarize the homes that *succeeded*; permanently
+    failed homes ride along as ``failures`` (with ``n_failed`` and the
+    per-failure rows surfaced in the JSON/CSV exports) so a degraded
+    sweep is still a complete, honest artifact.
+    """
 
     n_homes: int
     days: int
@@ -90,12 +96,21 @@ class FleetReport:
     workers_used: int
     executed: int
     cache: dict | None = None
+    failures: tuple[HomeFailure, ...] = ()
+    pool_rebuilds: int = 0
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
 
     @classmethod
     def from_result(cls, result: FleetResult) -> "FleetReport":
         homes = result.homes
         if not homes:
-            raise ValueError("fleet result has no homes")
+            raise ValueError(
+                "fleet result has no successful homes "
+                f"({result.n_failed} failed); nothing to summarize"
+            )
 
         def dist(name: str, points) -> DefenseDistribution:
             return DefenseDistribution(
@@ -128,6 +143,8 @@ class FleetReport:
                 if result.cache_stats is not None
                 else None
             ),
+            failures=result.failures,
+            pool_rebuilds=result.pool_rebuilds,
         )
 
     # ------------------------------------------------------------------
@@ -161,6 +178,9 @@ class FleetReport:
             "workers_used": self.workers_used,
             "executed": self.executed,
             "cache": self.cache,
+            "n_failed": self.n_failed,
+            "failures": [f.as_dict() for f in self.failures],
+            "pool_rebuilds": self.pool_rebuilds,
         }
 
     def to_json(self, path: str | Path | None = None) -> str:
@@ -191,10 +211,33 @@ class FleetReport:
             )
         return rows
 
-    def to_csv(self, path: str | Path) -> None:
+    FAILURE_CSV_HEADER = ("index", "preset", "kind", "attempts", "elapsed_s", "error")
+
+    def failure_csv_rows(self) -> list[list]:
+        return [
+            [f.index, f.preset, f.kind, f.attempts, f.elapsed_s, f.error]
+            for f in self.failures
+        ]
+
+    def to_csv(self, path: str | Path) -> list[Path]:
+        """Write the defense table; with failures, also ``*.failures.csv``.
+
+        The failure summary gets its own file (rather than ragged rows in
+        the main table) so both stay machine-readable.  Returns the paths
+        written.
+        """
         from ..datasets.io import save_rows_csv
 
+        path = Path(path)
         save_rows_csv(path, self.CSV_HEADER, self.csv_rows())
+        written = [path]
+        if self.failures:
+            failures_path = path.with_suffix(".failures.csv")
+            save_rows_csv(
+                failures_path, self.FAILURE_CSV_HEADER, self.failure_csv_rows()
+            )
+            written.append(failures_path)
+        return written
 
     def format_table(self) -> str:
         """Aligned text table of per-defense MCC/utility percentiles."""

@@ -47,6 +47,12 @@ class HomeJob:
     worker never needs the fleet root.  ``fingerprint`` identifies the
     *config content* (not the slot), so two slots that synthesized the
     same home would share cache entries if their seeds also matched.
+
+    ``attempt`` is supervisor bookkeeping: the retry ordinal the job is
+    running as (0 = first try).  It is deliberately *excluded* from the
+    cache key — a retried home is the same cell — and does not influence
+    the simulation seeds, so retries reproduce results bit-identically.
+    The fault-injection layer keys on it to model flaky-then-healthy jobs.
     """
 
     index: int
@@ -58,6 +64,7 @@ class HomeJob:
     defense_seed: np.random.SeedSequence
     defenses: tuple[str, ...]
     detectors: tuple[str, ...] = DEFAULT_FLEET_DETECTORS
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -103,6 +110,17 @@ class FleetSpec:
             )
         if not self.detectors:
             raise ValueError("need at least one detector")
+        # validate detector names once, here, instead of letting every
+        # worker raise KeyError mid-dispatch (function-level import: the
+        # engine imports this module at its top level)
+        from .engine import FLEET_DETECTORS
+
+        unknown = set(self.detectors) - set(FLEET_DETECTORS)
+        if unknown:
+            raise ValueError(
+                f"unknown detectors: {sorted(unknown)}; "
+                f"available: {sorted(FLEET_DETECTORS)}"
+            )
 
     def resolved_defenses(self) -> tuple[str, ...]:
         if self.defenses is not None:
