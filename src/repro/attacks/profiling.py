@@ -15,7 +15,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..timeseries import BinaryTrace, PowerTrace, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from ..timeseries import (
+    BinaryTrace,
+    PowerTrace,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    TraceError,
+)
 
 _ON_THRESHOLD_FRACTION = 0.3
 
@@ -93,29 +99,42 @@ def meal_profile(
     mw_rate = usage_events_per_day(microwave) if microwave is not None else 0.0
     ct_rate = usage_events_per_day(cooktop) if cooktop is not None else 0.0
 
-    # a day with no evening cooking events at all suggests eating out
+    # a day with no evening cooking events at all suggests eating out.
+    # Windows are anchored at the trace's own clock (``start_s``), not the
+    # epoch: ``slice_time`` takes absolute times, so an epoch-anchored
+    # window never overlaps a trace recorded later than day zero and every
+    # day would wrongly count as eaten-out.
     reference = microwave if microwave is not None else cooktop
     n_days = max(1, int(reference.duration_s // SECONDS_PER_DAY))
+    evenings = 0
     days_without_dinner = 0
     for day in range(n_days):
-        t0 = day * SECONDS_PER_DAY + 17 * SECONDS_PER_HOUR
-        t1 = day * SECONDS_PER_DAY + 21 * SECONDS_PER_HOUR
+        t0 = reference.start_s + day * SECONDS_PER_DAY + 17 * SECONDS_PER_HOUR
+        t1 = reference.start_s + day * SECONDS_PER_DAY + 21 * SECONDS_PER_HOUR
         cooked = False
+        seen = False
         for trace in (microwave, cooktop):
             if trace is None:
                 continue
             try:
                 segment = trace.slice_time(t0, t1)
-            except Exception:
+            except TraceError:
+                # this trace simply doesn't cover the evening window
                 continue
+            seen = True
             if _on_mask(segment).any():
                 cooked = True
+        if not seen:
+            continue
+        evenings += 1
         if not cooked:
             days_without_dinner += 1
     return MealProfile(
         microwave_meals_per_day=mw_rate,
         cooktop_meals_per_day=ct_rate,
-        eats_out_days_fraction=days_without_dinner / n_days,
+        eats_out_days_fraction=(
+            days_without_dinner / evenings if evenings else 0.0
+        ),
     )
 
 

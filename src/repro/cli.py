@@ -99,6 +99,13 @@ def _build_parser() -> argparse.ArgumentParser:
                    "a sibling .failures.csv)")
     p.add_argument("--json", default=None,
                    help="export the report as JSON (includes the failure summary)")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="collect per-stage counters/timers (simulate, "
+                   "defend, attack, cache traffic, retries) and write the "
+                   "merged fleet telemetry as JSON to PATH")
+    p.add_argument("--profile", default=None, metavar="DIR",
+                   help="wrap each worker job in cProfile and dump one "
+                   "per-home .pstats file into DIR")
 
     sub.add_parser("info", help="list registered attacks, defenses, presets")
     return parser
@@ -240,6 +247,8 @@ def cmd_fleet(args) -> int:
         max_retries=args.max_retries,
         job_timeout=args.job_timeout,
         fail_fast=args.fail_fast,
+        telemetry=args.telemetry is not None,
+        profile_dir=args.profile,
     )
 
     def print_failures():
@@ -279,6 +288,29 @@ def cmd_fleet(args) -> int:
     if args.json:
         report.to_json(args.json)
         print(f"report JSON written to {args.json}")
+    if args.telemetry and report.telemetry is not None:
+        import json as json_mod
+        from pathlib import Path
+
+        out = Path(args.telemetry)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json_mod.dumps(report.telemetry, indent=2, sort_keys=True) + "\n"
+        )
+        timers = report.telemetry["totals"]["timers"]
+        stages = {
+            name.split(".", 1)[1]: stat["total_s"]
+            for name, stat in timers.items()
+            if name.startswith("stage.") and name != "stage.job"
+        }
+        if stages:
+            breakdown = ", ".join(
+                f"{name} {seconds:.2f}s" for name, seconds in stages.items()
+            )
+            print(f"telemetry: {breakdown}")
+        print(f"telemetry JSON written to {args.telemetry}")
+    if args.profile:
+        print(f"per-home cProfile dumps written to {args.profile}/")
     return 1 if report.failures else 0
 
 

@@ -15,6 +15,7 @@ import numpy as np
 from ..defenses.base import DefenseOutcome
 from ..home.household import HomeSimulation, simulate_home
 from ..home.presets import home_b
+from ..obs import TELEMETRY
 from .evaluation import DEFAULT_DETECTORS, TradeoffPoint, evaluate_defense_outcome
 from .registry import make_defense
 
@@ -56,16 +57,19 @@ def evaluate_simulation(
     occupancy = sim.occupancy
     metered = sim.metered
     baseline_outcome = DefenseOutcome(visible=metered)
-    baseline = evaluate_defense_outcome(
-        "baseline", baseline_outcome, metered, occupancy, detectors
-    )
+    with TELEMETRY.timer("stage.attack"):
+        baseline = evaluate_defense_outcome(
+            "baseline", baseline_outcome, metered, occupancy, detectors
+        )
     results: dict[str, TradeoffPoint] = {}
     for name in defense_names:
         defense = make_defense(name)
-        outcome = defense.apply(metered, rng)
-        results[name] = evaluate_defense_outcome(
-            name, outcome, metered, occupancy, detectors
-        )
+        with TELEMETRY.timer("stage.defend"):
+            outcome = defense.apply(metered, rng)
+        with TELEMETRY.timer("stage.attack"):
+            results[name] = evaluate_defense_outcome(
+                name, outcome, metered, occupancy, detectors
+            )
     return PipelineResult(baseline=baseline, defenses=results)
 
 

@@ -12,6 +12,7 @@ locally evaluated cloud models).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -114,14 +115,16 @@ class LocalAnalyticsHub:
     # -- what actually leaves the home ---------------------------------------
     def shared_payload(self) -> SharedPayload:
         trace = self._trace
-        n_days = max(1, int(trace.duration_s // SECONDS_PER_DAY))
+        # one bucket per started day, so a trailing partial day's energy is
+        # reported rather than silently dropped; every slice is clamped to
+        # the trace span and therefore always overlaps — no handler needed
+        # (``sum(daily) == total_energy_kwh`` up to float rounding).
+        n_days = max(1, int(math.ceil(trace.duration_s / SECONDS_PER_DAY)))
         daily = []
         for day in range(n_days):
             t0 = trace.start_s + day * SECONDS_PER_DAY
-            try:
-                daily.append(trace.slice_time(t0, t0 + SECONDS_PER_DAY).energy_kwh())
-            except Exception:
-                break
+            t1 = min(t0 + SECONDS_PER_DAY, trace.end_s)
+            daily.append(trace.slice_time(t0, t1).energy_kwh())
         return SharedPayload(
             total_energy_kwh=trace.energy_kwh(),
             daily_energy_kwh=tuple(daily),

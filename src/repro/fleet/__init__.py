@@ -16,7 +16,11 @@ turns the single-home pipeline into a population instrument:
   the sweep's :class:`HomeFailure` records;
 - :mod:`repro.fleet.faults` — deterministic fault injection (worker
   errors, crashes, hangs) so the recovery paths above are *tested*, not
-  trusted.
+  trusted;
+- telemetry (``telemetry=True`` / ``repro fleet --telemetry``) — per-stage
+  counter/timer snapshots from :mod:`repro.obs`, captured inside each
+  worker, merged into fleet totals on :class:`FleetResult` and surfaced in
+  :class:`FleetReport`; ``profile_dir=`` dumps per-job cProfile stats.
 
 Quickstart::
 

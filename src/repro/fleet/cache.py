@@ -25,13 +25,16 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import TELEMETRY
 from .spec import HomeJob
 
 #: bump when HomeResult's layout (or anything scoring-relevant that the
 #: key can't see) changes, invalidating every existing entry at once.
 #: v2: entries are wrapped in a versioned envelope so reads can verify
 #: *what* they loaded, not just that it unpickled.
-CACHE_FORMAT_VERSION = 2
+#: v3: HomeResult grew a telemetry field (always stored as None so cache
+#: bytes are identical whether or not telemetry was collected).
+CACHE_FORMAT_VERSION = 3
 
 
 def _seed_state(seq: np.random.SeedSequence) -> list:
@@ -64,11 +67,21 @@ def job_cache_key(job: HomeJob) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one runner pass."""
+    """Hit/miss accounting for one runner pass.
+
+    ``corrupt`` counts the subset of misses caused by entries that *exist*
+    but could not be trusted (torn pickle, wrong object type) — distinct
+    from both plain misses (no file) and ``stale`` entries written by an
+    older cache format.  Corrupt entries keep miss semantics so a sweep
+    can never be poisoned or aborted by cache rot, but the rot itself is
+    no longer silent: it surfaces in fleet reports and telemetry.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
+    stale: int = 0
 
     @property
     def lookups(self) -> int:
@@ -83,6 +96,8 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corrupt": self.corrupt,
+            "stale": self.stale,
             "hit_rate": self.hit_rate,
         }
 
@@ -105,47 +120,56 @@ class ResultCache:
         of the current format version is treated as a miss: unreadable
         files, torn/truncated pickles, *and* corrupt-but-loadable objects
         (wrong type, stale envelope).  A cache read must never be able to
-        poison — or abort — a sweep, so load errors are swallowed wholesale
-        rather than enumerated.
+        poison — or abort — a sweep; but unlike a plain miss (no file),
+        untrustworthy entries are *classified* — ``corrupt`` for rot,
+        ``stale`` for old formats — and counted in both ``stats`` and the
+        telemetry registry so silent cache rot shows up in fleet reports.
         """
-        path = self._path(key)
-        try:
-            with path.open("rb") as handle:
-                value = pickle.load(handle)
-        except Exception:  # noqa: BLE001 — any unreadable entry is a miss
-            self.stats.misses += 1
-            return None
-        result = self._validate(value)
-        if result is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return result
-
-    @staticmethod
-    def _validate(value):
-        """The envelope's ``HomeResult`` if the entry is trustworthy."""
         from .engine import HomeResult  # function-level: engine imports us
 
-        if not isinstance(value, dict):
-            return None
-        if value.get("format") != CACHE_FORMAT_VERSION:
-            return None
-        result = value.get("result")
-        if not isinstance(result, HomeResult):
-            return None
-        return result
+        path = self._path(key)
+        with TELEMETRY.timer("cache.read"):
+            try:
+                with path.open("rb") as handle:
+                    value = pickle.load(handle)
+            except FileNotFoundError:
+                return self._miss()
+            except Exception:  # noqa: BLE001 — torn/unreadable entry
+                return self._miss(corrupt=True)
+            if not isinstance(value, dict):
+                return self._miss(corrupt=True)
+            if value.get("format") != CACHE_FORMAT_VERSION:
+                return self._miss(stale=True)
+            result = value.get("result")
+            if not isinstance(result, HomeResult):
+                return self._miss(corrupt=True)
+            self.stats.hits += 1
+            TELEMETRY.count("cache.hit")
+            return result
+
+    def _miss(self, corrupt: bool = False, stale: bool = False):
+        self.stats.misses += 1
+        TELEMETRY.count("cache.miss")
+        if corrupt:
+            self.stats.corrupt += 1
+            TELEMETRY.count("cache.corrupt_entry")
+        if stale:
+            self.stats.stale += 1
+            TELEMETRY.count("cache.stale_entry")
+        return None
 
     def put(self, key: str, value) -> None:
         """Atomically store ``value`` under ``key`` in a versioned envelope."""
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        envelope = {"format": CACHE_FORMAT_VERSION, "result": value}
-        with tmp.open("wb") as handle:
-            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        with TELEMETRY.timer("cache.write"):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            envelope = {"format": CACHE_FORMAT_VERSION, "result": value}
+            with tmp.open("wb") as handle:
+                pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
         self.stats.stores += 1
+        TELEMETRY.count("cache.store")
 
     def __len__(self) -> int:
         return sum(1 for _ in self.cache_dir.glob("*/*.pkl"))

@@ -48,6 +48,13 @@ from ..attacks.niom import HMMNIOM, ThresholdNIOM
 from ..core.evaluation import TradeoffPoint
 from ..core.pipeline import evaluate_simulation
 from ..home.household import simulate_home
+from ..obs import (
+    PROFILE_DIR_ENV,
+    TELEMETRY,
+    TELEMETRY_ENV,
+    TelemetrySnapshot,
+    maybe_profile,
+)
 from ..timeseries import PowerTrace
 from .cache import CacheStats, ResultCache, job_cache_key
 from .faults import FAULTS_ENV, FaultPlan, maybe_inject
@@ -73,7 +80,14 @@ def trace_digest(trace: PowerTrace) -> str:
 
 @dataclass(frozen=True)
 class HomeResult:
-    """One home's scored outcome (what the cache stores)."""
+    """One home's scored outcome (what the cache stores).
+
+    ``telemetry`` is the job's per-stage counter/timer delta, captured in
+    whatever process ran it and shipped back piggybacked on the result.
+    It is ``None`` when telemetry is disabled, and always stripped before
+    the result enters the cache (a cache entry's bytes must not depend on
+    whether the run that produced it was being observed).
+    """
 
     index: int
     preset: str
@@ -85,6 +99,7 @@ class HomeResult:
     baseline: TradeoffPoint
     defenses: dict[str, TradeoffPoint]
     from_cache: bool = False
+    telemetry: TelemetrySnapshot | None = None
 
 
 @dataclass(frozen=True)
@@ -126,13 +141,26 @@ def run_home_job(job: HomeJob) -> HomeResult:
     """
     maybe_inject(job.index, job.attempt)
     detectors = tuple((name, FLEET_DETECTORS[name]) for name in job.detectors)
-    sim = simulate_home(job.config, job.days, np.random.default_rng(job.sim_seed))
-    pipeline = evaluate_simulation(
-        sim,
-        list(job.defenses),
-        np.random.default_rng(job.defense_seed),
-        detectors,
-    )
+    before = TELEMETRY.snapshot() if TELEMETRY.enabled else None
+    with maybe_profile(f"home-{job.index:04d}-a{job.attempt}"):
+        with TELEMETRY.timer("stage.job"):
+            with TELEMETRY.timer("stage.simulate"):
+                sim = simulate_home(
+                    job.config, job.days, np.random.default_rng(job.sim_seed)
+                )
+            pipeline = evaluate_simulation(
+                sim,
+                list(job.defenses),
+                np.random.default_rng(job.defense_seed),
+                detectors,
+            )
+    snapshot = None
+    if before is not None:
+        # ship the job's delta; restore the ambient registry so the
+        # serial path's supervisor-scope counters stay job-free (the
+        # supervisor adds job deltas back when it merges fleet totals)
+        snapshot = TELEMETRY.snapshot().minus(before)
+        TELEMETRY.restore(before)
     return HomeResult(
         index=job.index,
         preset=job.preset,
@@ -143,6 +171,7 @@ def run_home_job(job: HomeJob) -> HomeResult:
         energy_kwh=sim.metered.energy_kwh(),
         baseline=pipeline.baseline,
         defenses=pipeline.defenses,
+        telemetry=snapshot,
     )
 
 
@@ -158,6 +187,10 @@ class FleetResult:
     cache_stats: CacheStats | None = None
     failures: tuple[HomeFailure, ...] = ()
     pool_rebuilds: int = 0
+    #: fleet-level totals: supervisor counters (retries, backoff, cache
+    #: traffic, pool rebuilds) merged with every executed job's snapshot.
+    #: ``None`` unless the runner was created with ``telemetry=True``.
+    telemetry: TelemetrySnapshot | None = None
 
     @property
     def n_homes(self) -> int:
@@ -221,6 +254,17 @@ class FleetRunner:
         Optional :class:`~repro.fleet.faults.FaultPlan` exported through
         the environment for the duration of the run (the test harness's
         hook; production sweeps leave it ``None``).
+    telemetry:
+        Collect per-stage counters and timers (:mod:`repro.obs`): each
+        job ships a snapshot back on its result, the supervisor adds its
+        own scheduling/cache counters, and the merged totals land on
+        ``FleetResult.telemetry``.  Never changes any result — the
+        determinism tests pin telemetry-on and -off sweeps to identical
+        ``trace_digest``s.
+    profile_dir:
+        Directory for per-job cProfile dumps (one
+        ``home-<index>-a<attempt>.pstats`` per executed job, written by
+        whichever process ran it); ``None`` disables profiling.
     """
 
     #: supervisor wake-up period: bounds timeout/backoff enforcement lag
@@ -239,6 +283,8 @@ class FleetRunner:
         fail_fast: bool = False,
         retry_backoff_s: float = 0.05,
         faults: FaultPlan | None = None,
+        telemetry: bool = False,
+        profile_dir: str | Path | None = None,
     ) -> None:
         if chunksize < 1:
             raise ValueError("chunksize must be >= 1")
@@ -256,6 +302,8 @@ class FleetRunner:
         self.fail_fast = bool(fail_fast)
         self.retry_backoff_s = float(retry_backoff_s)
         self.faults = faults
+        self.telemetry = bool(telemetry)
+        self.profile_dir = Path(profile_dir) if profile_dir is not None else None
 
     def run(self, spec: FleetSpec) -> FleetResult:
         """Evaluate the whole fleet; per-home results plus failure report."""
@@ -266,38 +314,44 @@ class FleetRunner:
                 f"unknown detectors: {sorted(unknown)}; "
                 f"available: {sorted(FLEET_DETECTORS)}"
             )
-        jobs = spec.jobs()
-        results: dict[int, HomeResult] = {}
-        pending: list[HomeJob] = []
-        keys: dict[int, str] = {}
+        with self._telemetry_scope() as baseline:
+            jobs = spec.jobs()
+            results: dict[int, HomeResult] = {}
+            pending: list[HomeJob] = []
+            keys: dict[int, str] = {}
 
-        for job in jobs:
-            if self.cache is None:
-                pending.append(job)
-                continue
-            key = job_cache_key(job)
-            keys[job.index] = key
-            hit = self.cache.get(key)
-            if hit is not None:
-                results[job.index] = replace(hit, from_cache=True)
-            else:
-                pending.append(job)
+            for job in jobs:
+                if self.cache is None:
+                    pending.append(job)
+                    continue
+                key = job_cache_key(job)
+                keys[job.index] = key
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[job.index] = replace(hit, from_cache=True)
+                else:
+                    pending.append(job)
 
-        def store(result: HomeResult) -> None:
-            # streaming sink: cache immediately so a killed run resumes
-            results[result.index] = result
-            if self.cache is not None:
-                self.cache.put(keys[result.index], result)
+            def store(result: HomeResult) -> None:
+                # streaming sink: cache immediately so a killed run resumes
+                results[result.index] = result
+                if self.cache is not None:
+                    # strip telemetry so entry bytes don't depend on
+                    # whether this run was observed
+                    self.cache.put(
+                        keys[result.index], replace(result, telemetry=None)
+                    )
 
-        failures: list[HomeFailure] = []
-        workers_used = 1
-        rebuilds = 0
-        if pending:
-            failures, workers_used, rebuilds = self._execute(pending, store)
+            failures: list[HomeFailure] = []
+            workers_used = 1
+            rebuilds = 0
+            if pending:
+                failures, workers_used, rebuilds = self._execute(pending, store)
 
-        ordered = [
-            results[job.index] for job in jobs if job.index in results
-        ]
+            ordered = [
+                results[job.index] for job in jobs if job.index in results
+            ]
+            telemetry = self._collect_telemetry(baseline, ordered)
         return FleetResult(
             spec=spec,
             homes=ordered,
@@ -307,26 +361,77 @@ class FleetRunner:
             cache_stats=self.cache.stats if self.cache is not None else None,
             failures=tuple(sorted(failures, key=lambda f: f.index)),
             pool_rebuilds=rebuilds,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     @contextmanager
-    def _faults_exported(self):
-        """Arm ``self.faults`` through the env for workers to inherit."""
-        if self.faults is None:
+    def _env_exported(self):
+        """Arm faults/telemetry/profiling through the env for workers.
+
+        Everything a worker process must know beyond its picklable job
+        crosses the boundary here, before the pool is built, so it is
+        inherited identically under fork and spawn.  The serial path runs
+        under the same exports, keeping both paths observably identical.
+        """
+        wanted: dict[str, str] = {}
+        if self.faults is not None:
+            wanted[FAULTS_ENV] = self.faults.to_json()
+        if self.telemetry:
+            wanted[TELEMETRY_ENV] = "1"
+        if self.profile_dir is not None:
+            wanted[PROFILE_DIR_ENV] = str(self.profile_dir)
+        if not wanted:
             yield
             return
-        previous = os.environ.get(FAULTS_ENV)
-        os.environ[FAULTS_ENV] = self.faults.to_json()
+        previous = {name: os.environ.get(name) for name in wanted}
+        os.environ.update(wanted)
         try:
             yield
         finally:
-            if previous is None:
-                os.environ.pop(FAULTS_ENV, None)
-            else:
-                os.environ[FAULTS_ENV] = previous
+            for name, value in previous.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+
+    @contextmanager
+    def _telemetry_scope(self):
+        """Enable the supervisor-process registry; yield the baseline.
+
+        Yields ``None`` when telemetry is off; otherwise the registry
+        snapshot taken at run start, which :meth:`_collect_telemetry`
+        subtracts so one runner's totals never bleed into the next.
+        """
+        if not self.telemetry:
+            yield None
+            return
+        previous = TELEMETRY.enabled
+        TELEMETRY.enabled = True
+        try:
+            yield TELEMETRY.snapshot()
+        finally:
+            TELEMETRY.enabled = previous
+
+    def _collect_telemetry(
+        self, baseline: TelemetrySnapshot | None, homes: list[HomeResult]
+    ) -> TelemetrySnapshot | None:
+        """Supervisor delta + every executed job's snapshot, merged.
+
+        Job deltas are disjoint from the supervisor's (``run_home_job``
+        restores the ambient registry after capturing its delta), so the
+        merge never double-counts regardless of serial/pool execution.
+        """
+        if baseline is None:
+            return None
+        merged = TELEMETRY.snapshot().minus(baseline)
+        TELEMETRY.restore(baseline)
+        for home in homes:
+            if home.telemetry is not None:
+                merged = merged.merged(home.telemetry)
+        return merged
 
     def _execute(
         self, jobs: list[HomeJob], on_result: Callable[[HomeResult], None]
@@ -337,7 +442,7 @@ class FleetRunner:
         (restricted sandboxes, missing semaphores); pool failures
         mid-run are handled by the supervisor itself.
         """
-        with self._faults_exported():
+        with self._env_exported():
             if self.workers > 1 and len(jobs) > 1:
                 pool = self._new_pool()
                 if pool is not None:
@@ -372,7 +477,9 @@ class FleetRunner:
     ) -> bool:
         """Record a failed attempt; True when the job is out of retries."""
         state.attempts += 1
+        TELEMETRY.count(f"fleet.attempt_failed.{kind}")
         if state.attempts > self.max_retries:
+            TELEMETRY.count("fleet.permanent_failure")
             failures.append(
                 HomeFailure(
                     index=state.job.index,
@@ -384,7 +491,10 @@ class FleetRunner:
                 )
             )
             return True
-        state.not_before = now + self._backoff(state.attempts)
+        backoff = self._backoff(state.attempts)
+        TELEMETRY.count("fleet.retry")
+        TELEMETRY.count("fleet.backoff_wait_s", backoff)
+        state.not_before = now + backoff
         return False
 
     def _abort_rest(
@@ -482,6 +592,7 @@ class FleetRunner:
         def rebuild() -> bool:
             nonlocal pool, rebuilds
             rebuilds += 1
+            TELEMETRY.count("fleet.pool_rebuild")
             fresh = self._new_pool()
             if fresh is None:
                 return False
@@ -671,7 +782,7 @@ def run_fleet(
     """One-call convenience: ``FleetRunner(...).run(spec)``.
 
     Keyword arguments beyond the first three (``max_retries``,
-    ``job_timeout``, ``fail_fast``, ``retry_backoff_s``, ``faults``) are
-    forwarded to :class:`FleetRunner`.
+    ``job_timeout``, ``fail_fast``, ``retry_backoff_s``, ``faults``,
+    ``telemetry``, ``profile_dir``) are forwarded to :class:`FleetRunner`.
     """
     return FleetRunner(workers, chunksize, cache_dir, **supervisor).run(spec)

@@ -98,6 +98,10 @@ class FleetReport:
     cache: dict | None = None
     failures: tuple[HomeFailure, ...] = ()
     pool_rebuilds: int = 0
+    #: telemetry section (present when the run collected it): fleet-level
+    #: counter/timer totals plus population stats of per-home stage
+    #: durations — see :meth:`telemetry_section`.
+    telemetry: dict | None = None
 
     @property
     def n_failed(self) -> int:
@@ -128,6 +132,10 @@ class FleetReport:
         for name in homes[0].defenses:
             distributions[name] = dist(name, [h.defenses[name] for h in homes])
 
+        telemetry = None
+        if result.telemetry is not None:
+            telemetry = cls.telemetry_section(result)
+
         return cls(
             n_homes=len(homes),
             days=result.spec.days,
@@ -145,7 +153,36 @@ class FleetReport:
             ),
             failures=result.failures,
             pool_rebuilds=result.pool_rebuilds,
+            telemetry=telemetry,
         )
+
+    @staticmethod
+    def telemetry_section(result: FleetResult) -> dict:
+        """Reduce a run's telemetry to a JSON-ready section.
+
+        ``totals`` are the fleet-level merged counters/timers;
+        ``per_home_stage_s`` summarizes the *distribution* of each stage
+        timer's per-home seconds across executed homes (cache hits carry
+        no snapshot — their compute happened in an earlier run).
+        """
+        per_home = [h.telemetry for h in result.homes if h.telemetry is not None]
+        stage_names = sorted({name for snap in per_home for name in snap.timers})
+        per_home_stage_s = {}
+        for name in stage_names:
+            values = [
+                snap.timers[name].total_s
+                for snap in per_home
+                if name in snap.timers
+            ]
+            if values:
+                per_home_stage_s[name] = PopulationStats.of(values).as_dict()
+        return {
+            "totals": result.telemetry.as_dict(),
+            "per_home_stage_s": per_home_stage_s,
+            "homes_with_telemetry": len(per_home),
+            "elapsed_s": result.elapsed_s,
+            "workers_used": result.workers_used,
+        }
 
     # ------------------------------------------------------------------
     # Comparisons and exports
@@ -181,6 +218,7 @@ class FleetReport:
             "n_failed": self.n_failed,
             "failures": [f.as_dict() for f in self.failures],
             "pool_rebuilds": self.pool_rebuilds,
+            "telemetry": self.telemetry,
         }
 
     def to_json(self, path: str | Path | None = None) -> str:

@@ -22,6 +22,7 @@ import numpy as np
 from ..home.fingerprint import config_fingerprint
 from ..home.household import HomeConfig
 from ..home.presets import make_preset, preset_names
+from ..obs import TELEMETRY
 
 #: Detector ensemble evaluated against every home (mirrors
 #: ``core.evaluation.DEFAULT_DETECTORS`` by name).
@@ -136,11 +137,21 @@ class FleetSpec:
         return self._job_from_child(index, _home_seed(self.seed, index))
 
     def jobs(self) -> list[HomeJob]:
-        """All jobs, seeded by spawning the root sequence once per home."""
+        """All jobs, seeded by spawning the root sequence once per home.
+
+        Job construction synthesizes every home's config (non-trivial for
+        ``random`` homes), so it is a telemetry stage of its own:
+        supervisor-side ``stage.spec`` time never shows up inside any
+        worker's ``stage.job``.
+        """
         children = np.random.SeedSequence(self.seed).spawn(self.n_homes)
-        return [
-            self._job_from_child(i, child) for i, child in enumerate(children)
-        ]
+        with TELEMETRY.timer("stage.spec"):
+            built = [
+                self._job_from_child(i, child)
+                for i, child in enumerate(children)
+            ]
+        TELEMETRY.count("fleet.jobs_built", len(built))
+        return built
 
     def _job_from_child(
         self, index: int, child: np.random.SeedSequence

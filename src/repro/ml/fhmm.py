@@ -15,6 +15,7 @@ import itertools
 
 import numpy as np
 
+from ..obs import TELEMETRY
 from .hmm import GaussianHMM, _LOG_EPS
 from .preprocessing import check_features
 
@@ -59,6 +60,8 @@ class FactorialHMM:
     def _build_joint(self) -> None:
         joint = self._joint_states
         k = len(joint)
+        TELEMETRY.count("fhmm.joint_builds")
+        TELEMETRY.count("fhmm.joint_states", k)
         means = np.empty(k)
         variances = np.empty(k)
         startprob = np.empty(k)

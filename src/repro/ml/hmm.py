@@ -10,6 +10,8 @@ per-appliance chains composed by the factorial HMM NILM baseline
 from __future__ import annotations
 
 import numpy as np
+
+from ..obs import TELEMETRY
 from .kmeans import KMeans
 from .preprocessing import check_features
 
@@ -251,7 +253,9 @@ class GaussianHMM:
             self._init_from_kmeans(X)
         prev_ll = -np.inf
         n = len(X)
+        iterations = 0
         for _ in range(self.n_iter):
+            iterations += 1
             log_b = self._emission_logprob(X)
             b, shift = self._scaled_emissions(log_b)
             alpha, c = self._forward_scaled(b)
@@ -284,4 +288,6 @@ class GaussianHMM:
             if ll - prev_ll < self.tol * n and np.isfinite(prev_ll):
                 break
             prev_ll = ll
+        TELEMETRY.count("hmm.fits")
+        TELEMETRY.count("hmm.em_iterations", iterations)
         return self
