@@ -111,6 +111,50 @@ class _Claim:
     measured_power_w: float
 
 
+def _pair_candidates(
+    edges: list[Edge],
+    used: np.ndarray,
+    signature: LoadSignature,
+    target: float,
+) -> list[tuple[float, int, int]]:
+    """Score all feasible (rise, fall) pairings for one signature.
+
+    Broadcast formulation of the nested rise x fall loop kept in
+    :mod:`repro.attacks.nilm._reference`: magnitude matching, duration
+    bounds and the score expression are the same float64 operations in the
+    same association, and ``np.lexsort`` over ``(score, rise, fall)``
+    reproduces the tuple-sort order exactly, so the returned list is
+    identical to the loop's.
+    """
+    if not edges:
+        return []
+    deltas = np.array([e.delta_w for e in edges])
+    times = np.array([e.time_s for e in edges])
+    free = ~np.asarray(used, dtype=bool)
+    match = np.abs(np.abs(deltas) - target) <= signature.power_tolerance * target
+    rise_idx = np.flatnonzero((deltas > 0) & free & match)
+    fall_idx = np.flatnonzero((deltas <= 0) & free & match)
+    if len(rise_idx) == 0 or len(fall_idx) == 0:
+        return []
+    durations = times[fall_idx][None, :] - times[rise_idx][:, None]
+    feasible = (
+        (times[fall_idx][None, :] > times[rise_idx][:, None])
+        & (durations >= signature.min_duration_s)
+        & (durations <= signature.max_duration_s)
+    )
+    ii, jj = np.nonzero(feasible)
+    if len(ii) == 0:
+        return []
+    r = rise_idx[ii]
+    f = fall_idx[jj]
+    rise_err = np.abs(np.abs(deltas[r]) - target)
+    fall_err = np.abs(np.abs(deltas[f]) - target)
+    pair_err = np.abs(deltas[r] + deltas[f])
+    scores = ((rise_err + fall_err) + pair_err) / target
+    order = np.lexsort((f, r, scores))
+    return [(float(scores[k]), int(r[k]), int(f[k])) for k in order]
+
+
 class PowerPlayTracker:
     """Virtual power meters over an aggregate smart-meter trace.
 
@@ -180,33 +224,7 @@ class PowerPlayTracker:
         target = signature.on_power_w + (
             signature.motor_power_w if signature.kind is LoadKind.COMPOUND else 0.0
         )
-        candidates: list[tuple[float, int, int]] = []
-        rises = [
-            (i, e)
-            for i, e in enumerate(edges)
-            if e.is_rising and not used[i] and signature.matches_magnitude(e.delta_w)
-        ]
-        falls = [
-            (j, e)
-            for j, e in enumerate(edges)
-            if not e.is_rising and not used[j] and signature.matches_magnitude(e.delta_w)
-        ]
-        for i, rise in rises:
-            for j, fall in falls:
-                if fall.time_s <= rise.time_s:
-                    continue
-                duration = fall.time_s - rise.time_s
-                if duration < signature.min_duration_s:
-                    continue
-                if duration > signature.max_duration_s:
-                    break  # falls are time-ordered; all later ones too long
-                magnitude_error = (
-                    abs(abs(rise.delta_w) - target)
-                    + abs(abs(fall.delta_w) - target)
-                    + abs(rise.delta_w + fall.delta_w)
-                )
-                candidates.append((magnitude_error / target, i, j))
-        candidates.sort()
+        candidates = _pair_candidates(edges, used, signature, target)
 
         claimed_spans: list[tuple[int, int]] = []
         claims: list[_Claim] = []

@@ -138,26 +138,52 @@ class CyclicAppliance(Appliance):
         self.noise_w = noise_w
 
     def simulate(self, occupancy: BinaryTrace, rng: np.random.Generator) -> PowerTrace:
+        # Vectorized port of the original per-cycle loop
+        # (repro.home._reference.simulate_cyclic_loop).  Durations are
+        # drawn in chunks sized to a *lower bound* on the cycles the loop
+        # was still guaranteed to draw, so the RNG stream is consumed
+        # identically and the trace is bitwise-unchanged.
         values = _empty_like(occupancy)
         period = occupancy.period_s
         n = len(values)
+        end = n * period
+        cycle_s = (self.on_minutes + self.off_minutes) * 60.0
         # start at a random phase in the cycle
-        t = -rng.uniform(0.0, (self.on_minutes + self.off_minutes) * 60.0)
-        while t < n * period:
-            on_s = self.on_minutes * 60.0 * (1.0 + rng.uniform(-self.jitter, self.jitter))
-            off_s = self.off_minutes * 60.0 * (1.0 + rng.uniform(-self.jitter, self.jitter))
-            i0 = max(0, int(np.ceil(t / period)))
-            i1 = min(n, int(np.ceil((t + on_s) / period)))
-            if i1 > i0:
-                values[i0:i1] = self.on_power_w
-                if self.spike_power_w > 0:
-                    # startup transient averaged into the first sample
-                    frac = min(1.0, self.spike_seconds / period)
-                    values[i0] += (self.spike_power_w - self.on_power_w) * frac
-            t += on_s + off_s
+        t = -rng.uniform(0.0, cycle_s)
+        max_pair_s = cycle_s * (1.0 + self.jitter)
+        starts_parts: list[np.ndarray] = []
+        ons_parts: list[np.ndarray] = []
+        while t < end:
+            # ceil((end - t) / max_pair_s) cycles fit before `end` even at
+            # maximal jitter, so the loop would have drawn every one of them
+            m = max(1, int(np.ceil((end - t) / max_pair_s)))
+            u = rng.uniform(-self.jitter, self.jitter, size=2 * m)
+            on_s = self.on_minutes * 60.0 * (1.0 + u[0::2])
+            off_s = self.off_minutes * 60.0 * (1.0 + u[1::2])
+            # running sum seeded with t reproduces the loop's exact
+            # left-to-right accumulation of t += on_s + off_s
+            bounds = np.cumsum(np.concatenate(([t], on_s + off_s)))
+            starts_parts.append(bounds[:-1])
+            ons_parts.append(on_s)
+            t = bounds[-1]
+        starts = np.concatenate(starts_parts) if starts_parts else np.empty(0)
+        on_s = np.concatenate(ons_parts) if ons_parts else np.empty(0)
+        i0 = np.maximum(0, np.ceil(starts / period)).astype(np.int64)
+        i1 = np.minimum(n, np.ceil((starts + on_s) / period)).astype(np.int64)
+        active = i1 > i0
+        i0, i1 = i0[active], i1[active]
+        # interval painting via a difference array (cycles never overlap)
+        edges = np.zeros(n + 1)
+        edges[i0] += 1.0
+        edges[i1] -= 1.0
+        on_mask = np.cumsum(edges[:-1]) > 0
+        values[on_mask] = self.on_power_w
+        if self.spike_power_w > 0 and len(i0):
+            # startup transient averaged into the first sample
+            frac = min(1.0, self.spike_seconds / period)
+            values[i0] += (self.spike_power_w - self.on_power_w) * frac
         if self.noise_w > 0:
-            on_mask = values > 0
-            values[on_mask] += rng.normal(0.0, self.noise_w, on_mask.sum())
+            values[on_mask] += rng.normal(0.0, self.noise_w, int(on_mask.sum()))
         return _to_trace(occupancy, values)
 
 
@@ -192,16 +218,25 @@ class ContinuousAppliance(Appliance):
         self.noise_w = noise_w
 
     def simulate(self, occupancy: BinaryTrace, rng: np.random.Generator) -> PowerTrace:
+        # Vectorized port of the per-boost loop in
+        # repro.home._reference.simulate_continuous_loop: one batched
+        # uniform draw (stream-identical to the scalar draws) and
+        # difference-array painting of the possibly overlapping intervals.
         values = np.full(len(occupancy), self.base_power_w)
         period = occupancy.period_s
+        n = len(values)
         n_days = max(1, int(np.ceil(occupancy.duration_s / SECONDS_PER_DAY)))
         if self.boost_power_w > self.base_power_w:
             n_boosts = rng.poisson(self.boosts_per_day * n_days)
-            for _ in range(n_boosts):
-                start = rng.uniform(0.0, occupancy.duration_s)
-                i0 = int(start / period)
-                i1 = min(len(values), i0 + max(1, int(self.boost_minutes * 60.0 / period)))
-                values[i0:i1] = self.boost_power_w
+            if n_boosts:
+                start = rng.uniform(0.0, occupancy.duration_s, size=n_boosts)
+                block = max(1, int(self.boost_minutes * 60.0 / period))
+                i0 = (start / period).astype(np.int64)
+                i1 = np.minimum(n, i0 + block)
+                edges = np.zeros(n + 1)
+                np.add.at(edges, i0, 1.0)
+                np.add.at(edges, i1, -1.0)
+                values[np.cumsum(edges[:-1]) > 0] = self.boost_power_w
         if self.noise_w > 0:
             values += rng.normal(0.0, self.noise_w, len(values))
         return _to_trace(occupancy, values)
@@ -428,15 +463,52 @@ class LightingAppliance(Appliance):
     def simulate(self, occupancy: BinaryTrace, rng: np.random.Generator) -> PowerTrace:
         hours = (occupancy.times() % SECONDS_PER_DAY) / SECONDS_PER_HOUR
         weight = self.darkness_weight(hours) * occupancy.values
-        # occupants toggle individual fixtures now and then: a piecewise-
-        # constant modulation with occasional small level changes
-        modulation = np.empty(len(hours))
+        # Occupants toggle individual fixtures now and then: a piecewise-
+        # constant modulation with occasional small level changes.
+        # Vectorized port of the original per-sample loop
+        # (repro.home._reference.simulate_lighting_loop): uniforms are
+        # drawn in chunks sized to the guaranteed remaining consumption
+        # (one per sample plus one per level change), trigger samples are
+        # located with one vectorized compare per chunk, and the level
+        # deltas are reconstructed from the same stream positions the
+        # scalar uniform(-0.15, 0.15) calls would have consumed — so the
+        # stream and the trace are bitwise-identical to the loop's.
+        n = len(hours)
+        modulation = np.empty(n)
         level = 0.7
         change_probability = occupancy.period_s / 1800.0  # ~ every 30 min
-        for i in range(len(hours)):
-            if rng.uniform() < change_probability:
-                level = float(np.clip(level + rng.uniform(-0.15, 0.15), 0.3, 1.0))
-            modulation[i] = level
+        buf = rng.uniform(size=n)
+        triggers = np.flatnonzero(buf < change_probability)
+        pos = 0
+        i = 0
+        while i < n:
+            if pos >= len(buf):
+                buf = rng.uniform(size=n - i)
+                triggers = np.flatnonzero(buf < change_probability)
+                pos = 0
+            hit = np.searchsorted(triggers, pos)
+            if hit == len(triggers):
+                span = len(buf) - pos
+                modulation[i : i + span] = level
+                i += span
+                pos = len(buf)
+                continue
+            trig = int(triggers[hit])
+            j = trig - pos
+            modulation[i : i + j] = level
+            pos = trig + 1
+            if pos >= len(buf):
+                # the delta draw spills into a fresh chunk: one delta plus
+                # one uniform per remaining sample is still guaranteed
+                buf = rng.uniform(size=n - (i + j))
+                triggers = np.flatnonzero(buf < change_probability)
+                pos = 0
+            # uniform(-0.15, 0.15) == -0.15 + 0.3 * u for the same stream u
+            delta = -0.15 + 0.3 * buf[pos]
+            pos += 1
+            level = float(np.clip(level + delta, 0.3, 1.0))
+            modulation[i + j] = level
+            i += j + 1
         values = self.max_power_w * weight * modulation
         values += rng.normal(0.0, self.noise_w, len(values)) * (values > 0)
         return _to_trace(occupancy, values)

@@ -1,0 +1,92 @@
+"""Loop-baseline HMM fit/decode built from the reference kernels.
+
+:mod:`repro.ml.kernels` keeps each vectorized kernel next to its original
+loop implementation (``estep_loop``, ``viterbi_loop``, ``log_gaussian_loop``,
+``joint_chain_params_loop``).  This module wires those loop kernels into
+whole-model baselines — a Baum-Welch fit and a Viterbi decode that match
+the pre-vectorization :class:`repro.ml.hmm.GaussianHMM` — so equivalence
+tests and benchmarks can compare end-to-end model behaviour, not just
+individual kernels (see ``docs/PERFORMANCE.md``).
+
+Contract: with the same seed and data, :func:`fit_loop` must reach
+parameters within 1e-9 of the production :meth:`GaussianHMM.fit` (the
+E-step scan reorders float additions; everything else is identical), and
+:func:`decode_loop` must return a bitwise-identical state path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import kernels
+from .hmm import _LOG_EPS, _MIN_VAR, GaussianHMM
+from .preprocessing import check_features
+
+
+def fit_loop(model: GaussianHMM, X) -> GaussianHMM:
+    """Original (pre-vectorization) Baum-Welch fit of ``GaussianHMM``.
+
+    Identical to :meth:`GaussianHMM.fit` except the E-step runs the
+    per-sample forward/backward loop and the M-step accumulates variances
+    with a per-state loop.  Consumes the model RNG exactly as ``fit`` does
+    (k-means initialization only).
+    """
+    X = check_features(X)
+    if len(X) < 2 * model.n_states:
+        raise ValueError("sequence too short to fit HMM")
+    if model.transmat_ is None:
+        model._init_from_kmeans(X)
+    prev_ll = -np.inf
+    n = len(X)
+    for _ in range(model.n_iter):
+        log_b = kernels.log_gaussian_loop(X, model.means_, model.variances_)
+        shift = log_b.max(axis=1)
+        b = np.exp(log_b - shift[:, None])
+        gamma, xi_sum, ll_base = kernels.estep_loop(
+            model.startprob_, model.transmat_, b
+        )
+        ll = float(ll_base + shift.sum())
+
+        model.startprob_ = gamma[0] / gamma[0].sum()
+        transmat = xi_sum / np.maximum(xi_sum.sum(axis=1, keepdims=True), _LOG_EPS)
+        transmat = np.maximum(transmat, 1e-8)
+        model.transmat_ = transmat / transmat.sum(axis=1, keepdims=True)
+
+        weights = gamma.sum(axis=0)
+        means = (gamma.T @ X) / np.maximum(weights[:, None], _LOG_EPS)
+        variances = np.empty_like(means)
+        for k in range(model.n_states):
+            diff = X - means[k]
+            variances[k] = (gamma[:, k : k + 1] * diff * diff).sum(axis=0) / max(
+                weights[k], _LOG_EPS
+            )
+        model.means_ = means
+        model.variances_ = np.maximum(variances, _MIN_VAR)
+
+        if ll - prev_ll < model.tol * n and np.isfinite(prev_ll):
+            break
+        prev_ll = ll
+    return model
+
+
+def decode_loop(model: GaussianHMM, X) -> np.ndarray:
+    """Original Viterbi decode: loop emissions + loop trellis."""
+    model._check_fitted()
+    X = check_features(X)
+    log_b = kernels.log_gaussian_loop(X, model.means_, model.variances_)
+    log_pi = np.log(model.startprob_ + _LOG_EPS)
+    log_a = np.log(model.transmat_ + _LOG_EPS)
+    return kernels.viterbi_loop(log_pi, log_a, log_b)
+
+
+def posterior_loop(model: GaussianHMM, X) -> np.ndarray:
+    """Original forward/backward posterior via the loop E-step."""
+    model._check_fitted()
+    X = check_features(X)
+    log_b = kernels.log_gaussian_loop(X, model.means_, model.variances_)
+    shift = log_b.max(axis=1)
+    b = np.exp(log_b - shift[:, None])
+    gamma, _, _ = kernels.estep_loop(
+        model.startprob_, model.transmat_, b, want_xi=False
+    )
+    return gamma

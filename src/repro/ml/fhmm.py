@@ -11,11 +11,10 @@ evaluation tracks (e.g. five appliances with 2-3 states each).
 
 from __future__ import annotations
 
-import itertools
-
 import numpy as np
 
 from ..obs import TELEMETRY
+from . import kernels
 from .hmm import GaussianHMM, _LOG_EPS
 from .preprocessing import check_features
 
@@ -52,38 +51,24 @@ class FactorialHMM:
             raise ValueError("noise_var must be positive")
         self.chains = chains
         self.noise_var = noise_var
-        self._joint_states = list(
-            itertools.product(*[range(c.n_states) for c in chains])
+        # joint states enumerated in itertools.product order (chain 0
+        # slowest), as a (n_joint, n_chains) index array
+        dims = [c.n_states for c in chains]
+        self._joint_states = np.stack(
+            np.unravel_index(np.arange(n_joint), dims), axis=1
         )
         self._build_joint()
 
     def _build_joint(self) -> None:
-        joint = self._joint_states
-        k = len(joint)
         TELEMETRY.count("fhmm.joint_builds")
-        TELEMETRY.count("fhmm.joint_states", k)
-        means = np.empty(k)
-        variances = np.empty(k)
-        startprob = np.empty(k)
-        for idx, combo in enumerate(joint):
-            means[idx] = sum(
-                float(c.means_[s, 0]) for c, s in zip(self.chains, combo)
-            )
-            variances[idx] = self.noise_var + sum(
-                float(c.variances_[s, 0]) for c, s in zip(self.chains, combo)
-            )
-            startprob[idx] = float(
-                np.prod([c.startprob_[s] for c, s in zip(self.chains, combo)])
-            )
-        startprob /= startprob.sum()
-        transmat = np.ones((k, k))
-        for i, combo_i in enumerate(joint):
-            for j, combo_j in enumerate(joint):
-                p = 1.0
-                for chain, si, sj in zip(self.chains, combo_i, combo_j):
-                    p *= float(chain.transmat_[si, sj])
-                transmat[i, j] = p
-        transmat /= transmat.sum(axis=1, keepdims=True)
+        TELEMETRY.count("fhmm.joint_states", len(self._joint_states))
+        startprob, transmat, means, variances = kernels.joint_chain_params(
+            [c.startprob_ for c in self.chains],
+            [c.transmat_ for c in self.chains],
+            [c.means_[:, 0] for c in self.chains],
+            [c.variances_[:, 0] for c in self.chains],
+            self.noise_var,
+        )
         self._means = means
         self._variances = variances
         self._startprob = startprob
@@ -107,21 +92,10 @@ class FactorialHMM:
         """
         aggregate = check_features(aggregate)[:, 0]
         log_b = self._emission_logprob(aggregate)
-        n, k = log_b.shape
         log_pi = np.log(self._startprob + _LOG_EPS)
         log_a = np.log(self._transmat + _LOG_EPS)
-        delta = log_pi + log_b[0]
-        backptr = np.zeros((n, k), dtype=int)
-        for t in range(1, n):
-            scores = delta[:, None] + log_a
-            backptr[t] = scores.argmax(axis=0)
-            delta = scores.max(axis=0) + log_b[t]
-        joint_path = np.empty(n, dtype=int)
-        joint_path[-1] = int(delta.argmax())
-        for t in range(n - 2, -1, -1):
-            joint_path[t] = backptr[t + 1, joint_path[t + 1]]
-        combos = np.asarray(self._joint_states)
-        return combos[joint_path]
+        joint_path = kernels.viterbi(log_pi, log_a, log_b)
+        return self._joint_states[joint_path]
 
     def disaggregate(self, aggregate) -> np.ndarray:
         """Per-chain power estimates, shape ``(n_samples, n_chains)``.

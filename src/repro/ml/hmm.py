@@ -5,6 +5,11 @@ forward/backward, Viterbi decoding, and Baum-Welch (EM) parameter learning.
 This is the workhorse behind the HMM-based NIOM occupancy detector and the
 per-appliance chains composed by the factorial HMM NILM baseline
 (:mod:`repro.ml.fhmm`).
+
+The numerical inner loops (emission densities, the forward/backward
+E-step, Viterbi) live in :mod:`repro.ml.kernels`, which pairs each
+vectorized kernel with the original loop implementation and documents the
+equivalence contract between them (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -12,10 +17,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..obs import TELEMETRY
+from . import kernels
+from .kernels import LOG_EPS as _LOG_EPS
 from .kmeans import KMeans
 from .preprocessing import check_features
 
-_LOG_EPS = 1e-300
 _MIN_VAR = 1e-6
 
 
@@ -24,16 +30,7 @@ def _log_gaussian(X: np.ndarray, means: np.ndarray, variances: np.ndarray) -> np
 
     Returns an ``(n_samples, n_states)`` matrix.
     """
-    n, d = X.shape
-    k = len(means)
-    out = np.empty((n, k))
-    for j in range(k):
-        var = variances[j]
-        diff = X - means[j]
-        out[:, j] = -0.5 * (
-            d * np.log(2.0 * np.pi) + np.log(var).sum() + (diff * diff / var).sum(axis=1)
-        )
-    return out
+    return kernels.log_gaussian(X, means, variances)
 
 
 class GaussianHMM:
@@ -132,50 +129,20 @@ class GaussianHMM:
         shift = log_b.max(axis=1)
         return np.exp(log_b - shift[:, None]), shift
 
-    def _forward_scaled(
-        self, b: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Scaled forward pass: returns (alpha_hat, c) where alpha rows are
-        normalized to sum to one and ``c[t]`` is the normalizer."""
-        n, k = b.shape
-        alpha = np.empty((n, k))
-        c = np.empty(n)
-        a = self.transmat_
-        alpha[0] = self.startprob_ * b[0]
-        c[0] = max(alpha[0].sum(), _LOG_EPS)
-        alpha[0] /= c[0]
-        for t in range(1, n):
-            alpha[t] = (alpha[t - 1] @ a) * b[t]
-            c[t] = max(alpha[t].sum(), _LOG_EPS)
-            alpha[t] /= c[t]
-        return alpha, c
-
-    def _backward_scaled(self, b: np.ndarray, c: np.ndarray) -> np.ndarray:
-        n, k = b.shape
-        beta = np.empty((n, k))
-        beta[-1] = 1.0
-        a = self.transmat_
-        for t in range(n - 2, -1, -1):
-            beta[t] = (a @ (b[t + 1] * beta[t + 1])) / c[t + 1]
-        return beta
-
     def log_likelihood(self, X) -> float:
         """Log probability of the observation sequence under the model."""
         self._check_fitted()
         X = check_features(X)
         b, shift = self._scaled_emissions(self._emission_logprob(X))
-        _, c = self._forward_scaled(b)
-        return float(np.log(c).sum() + shift.sum())
+        _, _, ll = kernels.estep(self.startprob_, self.transmat_, b, want_xi=False)
+        return float(ll + shift.sum())
 
     def posterior(self, X) -> np.ndarray:
         """Per-sample state posteriors ``gamma``, shape ``(n, n_states)``."""
         self._check_fitted()
         X = check_features(X)
         b, _ = self._scaled_emissions(self._emission_logprob(X))
-        alpha, c = self._forward_scaled(b)
-        beta = self._backward_scaled(b, c)
-        gamma = alpha * beta
-        gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), _LOG_EPS)
+        gamma, _, _ = kernels.estep(self.startprob_, self.transmat_, b, want_xi=False)
         return gamma
 
     def decode(self, X) -> np.ndarray:
@@ -183,20 +150,9 @@ class GaussianHMM:
         self._check_fitted()
         X = check_features(X)
         log_b = self._emission_logprob(X)
-        n, k = log_b.shape
         log_pi = np.log(self.startprob_ + _LOG_EPS)
         log_a = np.log(self.transmat_ + _LOG_EPS)
-        delta = log_pi + log_b[0]
-        backptr = np.zeros((n, k), dtype=int)
-        for t in range(1, n):
-            scores = delta[:, None] + log_a
-            backptr[t] = scores.argmax(axis=0)
-            delta = scores.max(axis=0) + log_b[t]
-        states = np.empty(n, dtype=int)
-        states[-1] = int(delta.argmax())
-        for t in range(n - 2, -1, -1):
-            states[t] = backptr[t + 1, states[t + 1]]
-        return states
+        return kernels.viterbi(log_pi, log_a, log_b)
 
     def sample(
         self, n_samples: int, rng: np.random.Generator | int | None = None
@@ -258,17 +214,8 @@ class GaussianHMM:
             iterations += 1
             log_b = self._emission_logprob(X)
             b, shift = self._scaled_emissions(log_b)
-            alpha, c = self._forward_scaled(b)
-            beta = self._backward_scaled(b, c)
-            ll = float(np.log(c).sum() + shift.sum())
-
-            gamma = alpha * beta
-            gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), _LOG_EPS)
-
-            # xi[t, i, j] ∝ alpha[t, i] a[i, j] b[t+1, j] beta[t+1, j];
-            # with scaled alpha/beta the normalizer per t is c[t+1]
-            bb = b[1:] * beta[1:]
-            xi_sum = (alpha[:-1] / c[1:, None]).T @ bb * self.transmat_
+            gamma, xi_sum, ll_base = kernels.estep(self.startprob_, self.transmat_, b)
+            ll = float(ll_base + shift.sum())
 
             self.startprob_ = gamma[0] / gamma[0].sum()
             transmat = xi_sum / np.maximum(xi_sum.sum(axis=1, keepdims=True), _LOG_EPS)
@@ -277,11 +224,11 @@ class GaussianHMM:
 
             weights = gamma.sum(axis=0)
             means = (gamma.T @ X) / np.maximum(weights[:, None], _LOG_EPS)
-            variances = np.empty_like(means)
-            for k in range(self.n_states):
-                diff = X - means[k]
-                variances[k] = (gamma[:, k][:, None] * diff * diff).sum(axis=0)
-                variances[k] /= np.maximum(weights[k], _LOG_EPS)
+            # weighted second moment per state in one einsum instead of a
+            # per-state loop over (X - mean_k)^2
+            diff = X[:, None, :] - means[None, :, :]
+            variances = np.einsum("nk,nkd->kd", gamma, diff * diff)
+            variances /= np.maximum(weights[:, None], _LOG_EPS)
             self.means_ = means
             self.variances_ = np.maximum(variances, _MIN_VAR)
 

@@ -28,6 +28,8 @@ from .flows import Direction, Flow
 
 
 class DeviceType(Enum):
+    """Consumer IoT device categories with distinct traffic grammars."""
+
     CAMERA = "camera"
     THERMOSTAT = "thermostat"
     SMART_PLUG = "smart_plug"

@@ -22,6 +22,8 @@ from .flows import Direction, Flow, FlowLog
 
 
 class Verdict(Enum):
+    """Gateway decision for one observed flow."""
+
     ALLOW = "allow"
     BLOCK_LATERAL = "block_lateral"
     BLOCK_UNKNOWN_ENDPOINT = "block_unknown_endpoint"

@@ -27,6 +27,8 @@ from .flows import Direction, Flow, FlowLog
 
 
 class CompromiseKind(Enum):
+    """Attacker behaviours a compromised device can exhibit."""
+
     DDOS = "ddos"
     EXFILTRATION = "exfiltration"
     LATERAL_SCAN = "lateral_scan"

@@ -70,24 +70,46 @@ def detect_edges(
     if settle_samples < 1:
         raise ValueError("settle_samples must be >= 1")
     values = trace.values
-    edges: list[Edge] = []
+    n = len(values)
     diffs = np.diff(values)
     candidates = np.flatnonzero(np.abs(diffs) >= min_delta_w) + 1
-    for idx in candidates:
+    if len(candidates) == 0:
+        return []
+    # Interior candidates have full settle windows on both sides, so their
+    # pre/post medians are medians over fixed-length rows and can be
+    # computed in one batched np.median over gathered windows.  Candidates
+    # within settle_samples of either end fall back to the per-candidate
+    # slices.  Both paths sort the same float64 values, so the result is
+    # bitwise identical to repro.timeseries._reference.detect_edges_loop.
+    pre = np.empty(len(candidates))
+    post = np.empty(len(candidates))
+    interior = (candidates >= settle_samples) & (candidates + settle_samples <= n)
+    if interior.any() and settle_samples > 1:
+        windows = np.lib.stride_tricks.sliding_window_view(values, settle_samples)
+        inner = candidates[interior]
+        pre[interior] = np.median(windows[inner - settle_samples], axis=1)
+        post[interior] = np.median(windows[inner], axis=1)
+    elif settle_samples == 1:
+        # Median of one sample is that sample.
+        pre[interior] = values[candidates[interior] - 1]
+        post[interior] = values[candidates[interior]]
+    for j in np.flatnonzero(~interior):
+        idx = candidates[j]
         lo = max(0, idx - settle_samples)
-        hi = min(len(values), idx + settle_samples)
-        pre = float(np.median(values[lo:idx]))
-        post = float(np.median(values[idx:hi]))
-        delta = post - pre
-        if abs(delta) < min_delta_w:
-            continue
+        hi = min(n, idx + settle_samples)
+        pre[j] = np.median(values[lo:idx])
+        post[j] = np.median(values[idx:hi])
+    deltas = post - pre
+    edges: list[Edge] = []
+    for j in np.flatnonzero(np.abs(deltas) >= min_delta_w):
+        idx = candidates[j]
         edges.append(
             Edge(
                 index=int(idx),
                 time_s=trace.start_s + idx * trace.period_s,
-                delta_w=delta,
-                pre_w=pre,
-                post_w=post,
+                delta_w=float(deltas[j]),
+                pre_w=float(pre[j]),
+                post_w=float(post[j]),
             )
         )
     return edges

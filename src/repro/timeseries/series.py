@@ -146,19 +146,22 @@ class PowerTrace:
                 f"new period {new_period_s} is not an integer multiple of {self.period_s}"
             )
         block = int(round(ratio))
-        if block == 1:
-            return self
-        n_blocks = len(self.values) // block
-        if n_blocks == 0:
-            raise TraceError("trace shorter than one resampling block")
         reducers: dict[str, Callable[[np.ndarray], np.ndarray]] = {
             "mean": lambda m: m.mean(axis=1),
             "sum": lambda m: m.sum(axis=1),
             "max": lambda m: m.max(axis=1),
             "min": lambda m: m.min(axis=1),
         }
+        # Validate the reducer before the block == 1 fast path: a typo'd
+        # reducer must raise even when no resampling is needed, instead of
+        # silently returning the trace unchanged.
         if reducer not in reducers:
             raise TraceError(f"unknown reducer {reducer!r}")
+        if block == 1:
+            return self
+        n_blocks = len(self.values) // block
+        if n_blocks == 0:
+            raise TraceError("trace shorter than one resampling block")
         blocks = self.values[: n_blocks * block].reshape(n_blocks, block)
         return PowerTrace(reducers[reducer](blocks), new_period_s, self.start_s, self.unit)
 

@@ -107,6 +107,21 @@ class TestSliceResample:
         with pytest.raises(TraceError):
             trace.resample(90.0)
 
+    def test_resample_unknown_reducer_raises(self):
+        trace = make_trace([1, 2, 3, 4], period_s=60.0)
+        with pytest.raises(TraceError, match="unknown reducer"):
+            trace.resample(120.0, reducer="median")
+
+    def test_resample_unknown_reducer_raises_even_without_downsampling(self):
+        # Regression: block == 1 used to return self before validating the
+        # reducer, so a typo'd reducer passed silently when no resampling
+        # was needed.
+        trace = make_trace([1, 2, 3, 4], period_s=60.0)
+        with pytest.raises(TraceError, match="unknown reducer"):
+            trace.resample(60.0, reducer="median")
+        # the valid-reducer fast path still returns the trace unchanged
+        assert trace.resample(60.0) is trace
+
     def test_windows(self):
         trace = make_trace(range(10), period_s=60.0)
         windows = list(trace.windows(180.0))

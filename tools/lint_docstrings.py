@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Offline docstring lint for the repro package.
+
+Walks ``src/repro/`` with :mod:`ast` (no imports, no third-party deps) and
+fails if any public module or public class is missing a docstring.  Public
+means the module/class name (and every package segment on its path) does
+not start with an underscore — the ``_reference`` modules, for example,
+are internal and exempt, though in practice they are documented too.
+
+Run from the repository root (CI does)::
+
+    python tools/lint_docstrings.py
+
+Exit status 0 when clean; 1 with a ``path:line: message`` listing
+otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _is_public_module(path: Path) -> bool:
+    rel = path.relative_to(SRC)
+    parts = list(rel.parts[:-1]) + [rel.stem]
+    return not any(p.startswith("_") and p != "__init__" for p in parts)
+
+
+def check_file(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems: list[str] = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{path}:1: public module is missing a docstring")
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if ast.get_docstring(node) is None:
+            problems.append(
+                f"{path}:{node.lineno}: public class {node.name!r} "
+                "is missing a docstring"
+            )
+    return problems
+
+
+def main() -> int:
+    if not SRC.is_dir():
+        print(f"source tree not found: {SRC}", file=sys.stderr)
+        return 2
+    files = sorted(p for p in SRC.rglob("*.py") if _is_public_module(p))
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print("\n".join(problems))
+        print(f"\n{len(problems)} docstring problem(s) in {len(files)} files")
+        return 1
+    print(f"docstring lint: {len(files)} public modules clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
