@@ -8,6 +8,8 @@ Exposes the library's main workflows without writing Python:
 * ``localize`` — run SunSpot/Weatherman on a solar generation trace;
 * ``knob`` — sweep the Sec. III-E privacy knob over a simulated home;
 * ``fleet`` — evaluate a population of homes in parallel, with caching;
+* ``sweep`` — fan a (defense × knob setting × seed) grid over the fleet
+  and export the privacy-utility frontier (Fig. 6 at population scale);
 * ``info`` — list registered attacks, defenses, and home presets.
 """
 
@@ -106,6 +108,58 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", default=None, metavar="DIR",
                    help="wrap each worker job in cProfile and dump one "
                    "per-home .pstats file into DIR")
+
+    p = sub.add_parser(
+        "sweep",
+        help="knob-grid sweep over the fleet; exports the frontier",
+        description="Fan a (defense x knob setting x seed) grid over the "
+        "fleet engine and reduce each cell to privacy-utility "
+        "frontier points (attack MCC, load-profile distortion, "
+        "billing error, extra energy).  The grid comes from "
+        "--grid FILE (TOML/JSON) or from the inline flags.",
+    )
+    p.add_argument("--grid", default=None, metavar="FILE",
+                   help="grid file (.toml or .json) holding defenses/"
+                   "settings/n_homes/days/seeds/mix/detectors; mutually "
+                   "exclusive with the inline grid flags")
+    p.add_argument("--defenses", default=None,
+                   help="comma-separated defense names with knob mappings "
+                   "(see 'info')")
+    p.add_argument("--settings", default="0,0.33,0.67,1",
+                   help="comma-separated knob settings in [0, 1]")
+    p.add_argument("--homes", type=int, default=20, help="population size per cell")
+    p.add_argument("--days", type=int, default=1)
+    p.add_argument("--seeds", default="0", help="comma-separated fleet seeds")
+    p.add_argument("--mix", default="random",
+                   help="comma-separated preset names cycled over each fleet "
+                   f"(from: {', '.join(preset_names())})")
+    p.add_argument("--shard", default="1/1", metavar="I/N",
+                   help="run only cells I-1::N of the canonical cell order "
+                   "(round-robin partition; shards share work via --cache-dir)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes per cell (<=1 runs serially)")
+    p.add_argument("--cache-dir", default=None,
+                   help="fleet result cache shared across cells, shards, and "
+                   "re-runs; a killed sweep resumes from what finished")
+    p.add_argument("--max-retries", type=int, default=2)
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="per-home wall-clock timeout (needs --workers > 1)")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="abort a cell at its first permanent home failure")
+    p.add_argument("--csv", default=None,
+                   help="export the frontier points as CSV")
+    p.add_argument("--json", default=None,
+                   help="export the frontier points as JSON")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="collect per-stage counters/timers, merge them "
+                   "across all cells, and write the sweep telemetry JSON")
+    p.add_argument("--profile", default=None, metavar="DIR",
+                   help="per-job cProfile dumps (one .pstats per home job)")
+    p.add_argument("--check-monotone", action="store_true",
+                   help="fail (exit 1) if any (defense, seed) series has "
+                   "attack MCC rising with the knob setting")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="MCC noise tolerance for --check-monotone")
 
     sub.add_parser("info", help="list registered attacks, defenses, presets")
     return parser
@@ -314,12 +368,123 @@ def cmd_fleet(args) -> int:
     return 1 if report.failures else 0
 
 
+def cmd_sweep(args) -> int:
+    from .fleet import SweepError, SweepGrid, SweepRunner, load_grid, parse_shard
+
+    inline_grid_flags = args.defenses is not None
+    try:
+        if args.grid is not None and inline_grid_flags:
+            raise SweepError("--grid and --defenses are mutually exclusive")
+        if args.grid is not None:
+            grid = load_grid(args.grid)
+        elif inline_grid_flags:
+            grid = SweepGrid(
+                defenses=tuple(
+                    d.strip() for d in args.defenses.split(",") if d.strip()
+                ),
+                settings=tuple(
+                    float(s) for s in args.settings.split(",") if s.strip()
+                ),
+                n_homes=args.homes,
+                days=args.days,
+                seeds=tuple(
+                    int(s) for s in args.seeds.split(",") if s.strip()
+                ),
+                mix=tuple(
+                    name.strip() for name in args.mix.split(",") if name.strip()
+                ),
+            )
+        else:
+            raise SweepError("need --grid FILE or --defenses (see 'info' for names)")
+        shard = parse_shard(args.shard)
+    except (SweepError, ValueError) as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+
+    runner = SweepRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        max_retries=args.max_retries,
+        job_timeout=args.job_timeout,
+        fail_fast=args.fail_fast,
+        telemetry=args.telemetry is not None,
+        profile_dir=args.profile,
+    )
+
+    def on_cell(cell_result) -> None:
+        fleet = cell_result.fleet
+        cached = fleet.n_homes - fleet.executed
+        line = (f"  cell {cell_result.cell.label():<24s} "
+                f"{fleet.n_homes} homes ({cached} cached) "
+                f"in {fleet.elapsed_s:.2f}s")
+        if fleet.failures:
+            line += f"  [{fleet.n_failed} FAILED]"
+        print(line)
+
+    n_shard_cells = len(grid.cells()[shard[0] - 1 :: shard[1]])
+    print(f"sweep: {len(grid.defenses)} defense(s) x "
+          f"{len(grid.settings)} setting(s) x {len(grid.seeds)} seed(s) "
+          f"over {grid.n_homes} homes x {grid.days} day(s); "
+          f"shard {shard[0]}/{shard[1]} runs {n_shard_cells}/{grid.n_cells} cells")
+    result = runner.run(grid, shard, on_cell=on_cell)
+    frontier = result.frontier()
+    print(frontier.format_table())
+    total_jobs = sum(c.fleet.n_homes + c.fleet.n_failed for c in result.cells)
+    print(f"ran {result.executed}/{total_jobs} home jobs "
+          f"({total_jobs - result.executed} cached) in {result.elapsed_s:.2f}s")
+    if not result.ok:
+        print(f"WARNING: {result.n_failed_homes} home job(s) failed "
+              "(frontier covers survivors only)")
+
+    if args.csv:
+        path = frontier.to_csv(args.csv)
+        print(f"frontier CSV written to {path}")
+    if args.json:
+        frontier.to_json(args.json)
+        print(f"frontier JSON written to {args.json}")
+    if args.telemetry and result.telemetry is not None:
+        import json as json_mod
+        from pathlib import Path
+
+        out = Path(args.telemetry)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json_mod.dumps(result.telemetry.as_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
+        stages = {
+            name.split(".", 1)[1]: stat.total_s
+            for name, stat in result.telemetry.timers.items()
+            if name.startswith("stage.") and name != "stage.job"
+        }
+        if stages:
+            print("telemetry: " + ", ".join(
+                f"{name} {seconds:.2f}s" for name, seconds in stages.items()
+            ))
+        print(f"sweep telemetry JSON written to {args.telemetry}")
+    if args.profile:
+        print(f"per-home cProfile dumps written to {args.profile}/")
+
+    violations = frontier.monotone_violations(args.tolerance)
+    if violations:
+        print(f"frontier monotonicity: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  {violation}")
+        if args.check_monotone:
+            return 1
+    elif args.check_monotone:
+        print("frontier monotonicity: ok")
+    return 1 if not result.ok else 0
+
+
 def cmd_info(args) -> int:
-    from .core import defense_names, niom_attack_names
+    from .core import defense_names, knob_mapping_names, niom_attack_names
 
     print(f"home presets:   {', '.join(preset_names())}")
     print(f"niom attacks:   {', '.join(niom_attack_names())}")
     print(f"defenses:       {', '.join(defense_names())}")
+    print(f"knob mappings:  {', '.join(knob_mapping_names())} "
+          "(sweepable as name@setting)")
     print("solar attacks:  sunspot, weatherman (see 'localize')")
     return 0
 
@@ -331,6 +496,7 @@ COMMANDS = {
     "localize": cmd_localize,
     "knob": cmd_knob,
     "fleet": cmd_fleet,
+    "sweep": cmd_sweep,
     "info": cmd_info,
 }
 

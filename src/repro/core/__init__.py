@@ -9,7 +9,16 @@ from .evaluation import (
     evaluate_defense_outcome,
     occupancy_privacy,
 )
-from .knob import KnobStage, PrivacyKnob, sweep_knob
+from .knob import (
+    KnobStage,
+    PrivacyKnob,
+    knob_defense,
+    knob_defense_name,
+    knob_mapping_names,
+    parse_knob_name,
+    register_knob_mapping,
+    sweep_knob,
+)
 from .pipeline import PipelineResult, evaluate_simulation, run_pipeline
 from .registry import (
     RegistryError,
@@ -31,6 +40,11 @@ __all__ = [
     "occupancy_privacy",
     "KnobStage",
     "PrivacyKnob",
+    "knob_defense",
+    "knob_defense_name",
+    "knob_mapping_names",
+    "parse_knob_name",
+    "register_knob_mapping",
     "sweep_knob",
     "PipelineResult",
     "evaluate_simulation",

@@ -15,15 +15,22 @@ the ``sec3-frontier`` experiment of DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
-from ..defenses.base import DefenseOutcome, TraceDefense
-from ..defenses.battery import BatteryConfig, NILLDefense
+from ..defenses.base import DefenseOutcome, IdentityDefense, TraceDefense
+from ..defenses.battery import BatteryConfig, NILLDefense, SteppedDefense
+from ..defenses.chpr import CHPrTraceDefense
 from ..defenses.dp import DPConfig, LaplaceReleaseDefense
-from ..defenses.smoothing import CoarseningDefense, NoiseInjectionDefense
+from ..defenses.smoothing import (
+    CoarseningDefense,
+    NoiseInjectionDefense,
+    SmoothingDefense,
+)
 from ..timeseries import BinaryTrace, PowerTrace
 from .evaluation import DEFAULT_DETECTORS, TradeoffPoint, evaluate_defense_outcome
+from .registry import RegistryError
 
 
 @dataclass(frozen=True)
@@ -160,3 +167,129 @@ def sweep_knob(
             )
         )
     return points
+
+
+# ---------------------------------------------------------------------------
+# Knob mappings: one dial, every registered defense
+# ---------------------------------------------------------------------------
+#
+# :class:`PrivacyKnob` interpolates through a *fixed* stack; the fleet sweep
+# engine instead needs to dial each registered :class:`TraceDefense`
+# individually, so a frontier can compare mechanisms at matched settings.
+# A knob mapping is a callable ``setting in (0, 1] -> TraceDefense`` that
+# scales the mechanism's natural strength parameter.  Setting 0 always means
+# :class:`IdentityDefense` (the knob fully open — no protection, no cost),
+# which anchors every mechanism's frontier at the same point.
+#
+# The parametrized defense round-trips through a plain string,
+# ``name@setting`` (see :func:`knob_defense_name` / :func:`parse_knob_name`),
+# which is what lets sweep cells ride the existing fleet cache and pickled
+# job plumbing with no schema changes.
+
+_KNOB_MAPPINGS: dict[str, Callable[[float], TraceDefense]] = {}
+
+
+def register_knob_mapping(
+    name: str, mapping: Callable[[float], TraceDefense]
+) -> None:
+    """Register a ``setting -> defense`` mapping under a defense name."""
+    if name in _KNOB_MAPPINGS:
+        raise RegistryError(f"knob mapping {name!r} already registered")
+    _KNOB_MAPPINGS[name] = mapping
+
+
+def knob_mapping_names() -> list[str]:
+    return sorted(_KNOB_MAPPINGS)
+
+
+def knob_defense(name: str, setting: float) -> TraceDefense:
+    """Build the named defense dialed to a knob setting in [0, 1]."""
+    setting = float(setting)
+    if not 0.0 <= setting <= 1.0:
+        raise ValueError(f"knob setting must be in [0, 1], got {setting!r}")
+    if setting == 0.0:
+        return IdentityDefense()
+    if name not in _KNOB_MAPPINGS:
+        raise RegistryError(
+            f"no knob mapping for defense {name!r}; "
+            f"available: {sorted(_KNOB_MAPPINGS)}"
+        )
+    return _KNOB_MAPPINGS[name](setting)
+
+
+def knob_defense_name(name: str, setting: float) -> str:
+    """Canonical ``name@setting`` string for a dialed defense.
+
+    ``.6g`` keeps the string short and stable, so equal settings always
+    produce equal cache keys.
+    """
+    setting = float(setting)
+    if not 0.0 <= setting <= 1.0:
+        raise ValueError(f"knob setting must be in [0, 1], got {setting!r}")
+    return f"{name}@{format(setting, '.6g')}"
+
+
+def parse_knob_name(name: str) -> tuple[str, float]:
+    """Split ``name@setting`` into its parts, validating both."""
+    base, _, raw = name.rpartition("@")
+    if not base or not raw:
+        raise RegistryError(f"malformed knob defense name {name!r}")
+    try:
+        setting = float(raw)
+    except ValueError:
+        raise RegistryError(
+            f"malformed knob setting in {name!r}: {raw!r} is not a number"
+        ) from None
+    if not 0.0 <= setting <= 1.0:
+        raise RegistryError(
+            f"knob setting in {name!r} must be in [0, 1], got {setting}"
+        )
+    return base, setting
+
+
+def _hour_divisor_period(lo_s: float, hi_s: float, s: float) -> float:
+    """Geometric interpolation between periods, snapped to hour divisors."""
+    period = lo_s * (hi_s / lo_s) ** s
+    candidates = [
+        p
+        for p in (60.0, 120.0, 180.0, 300.0, 600.0, 900.0, 1800.0, 3600.0)
+        if lo_s <= p <= hi_s
+    ]
+    return min(candidates, key=lambda p: abs(p - period))
+
+
+# Built-in mappings.  Each dials the mechanism's natural strength axis so
+# larger settings plausibly buy more privacy; the sweep's monotone check
+# (tests/test_sweep.py) is what holds them to that reading.
+register_knob_mapping("identity", lambda s: IdentityDefense())
+register_knob_mapping(
+    # battery capacity is NILL's budget for holding the meter flat; the
+    # default BatteryConfig (3 kWh) sits at setting 0.5
+    "nill",
+    lambda s: NILLDefense(battery=BatteryConfig(capacity_wh=6000.0 * s)),
+)
+register_knob_mapping(
+    "stepped",
+    lambda s: SteppedDefense(battery=BatteryConfig(capacity_wh=6000.0 * s)),
+)
+register_knob_mapping("chpr", lambda s: CHPrTraceDefense(strength=s))
+register_knob_mapping(
+    # epsilon falls geometrically from 10 (almost no noise) to 0.1 (scale
+    # = 20 kW per 15-min release): smaller epsilon = stronger privacy
+    "dp-laplace",
+    lambda s: LaplaceReleaseDefense(DPConfig(epsilon=10.0 * 0.01**s)),
+)
+register_knob_mapping(
+    "smoothing",
+    lambda s: SmoothingDefense(window_s=300.0 * 24.0**s),
+)
+register_knob_mapping(
+    "coarsening",
+    lambda s: CoarseningDefense(
+        report_period_s=_hour_divisor_period(60.0, 3600.0, s)
+    ),
+)
+register_knob_mapping(
+    "noise",
+    lambda s: NoiseInjectionDefense(std_w=800.0 * s),
+)

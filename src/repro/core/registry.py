@@ -10,8 +10,9 @@ from __future__ import annotations
 from typing import Callable
 
 from ..attacks.niom import ClusterNIOM, HMMNIOM, ThresholdNIOM
-from ..defenses.base import TraceDefense
+from ..defenses.base import IdentityDefense, TraceDefense
 from ..defenses.battery import NILLDefense, SteppedDefense
+from ..defenses.chpr import CHPrTraceDefense
 from ..defenses.dp import LaplaceReleaseDefense
 from ..defenses.smoothing import (
     CoarseningDefense,
@@ -35,6 +36,19 @@ def register_defense(name: str, factory: Callable[[], TraceDefense]) -> None:
 
 
 def make_defense(name: str) -> TraceDefense:
+    """Build a defense by registry name, or by knob form ``name@setting``.
+
+    The ``@`` form routes through the knob-mapping registry
+    (:func:`repro.core.knob.knob_defense`), so sweep cells can carry a
+    fully parametrized defense as a plain string — through pickled fleet
+    jobs and content-addressed cache keys — with no schema changes.
+    """
+    if "@" in name:
+        # function-level import: knob.py imports this module for names
+        from .knob import knob_defense, parse_knob_name
+
+        base, setting = parse_knob_name(name)
+        return knob_defense(base, setting)
     if name not in _DEFENSES:
         raise RegistryError(
             f"unknown defense {name!r}; available: {sorted(_DEFENSES)}"
@@ -66,6 +80,8 @@ def niom_attack_names() -> list[str]:
 
 
 # built-ins
+register_defense("identity", lambda: IdentityDefense())
+register_defense("chpr", lambda: CHPrTraceDefense())
 register_defense("nill", lambda: NILLDefense())
 register_defense("stepped", lambda: SteppedDefense())
 register_defense("dp-laplace", lambda: LaplaceReleaseDefense())

@@ -1,8 +1,8 @@
 """Defenses against energy-data privacy attacks (Sec. III of the paper)."""
 
-from .base import DefenseOutcome, TraceDefense
+from .base import DefenseOutcome, IdentityDefense, TraceDefense
 from .battery import Battery, BatteryConfig, NILLDefense, SteppedDefense
-from .chpr import CHPrConfig, CHPrController, apply_chpr
+from .chpr import CHPrConfig, CHPrController, CHPrTraceDefense, apply_chpr
 from .dp import DPConfig, LaplaceReleaseDefense, dp_aggregate_consumption, laplace_noise
 from .local import LocalAnalyticsHub, ScheduleRecommendation, SharedPayload
 from .smoothing import CoarseningDefense, NoiseInjectionDefense, SmoothingDefense
@@ -17,6 +17,7 @@ from .zkp import (
 
 __all__ = [
     "DefenseOutcome",
+    "IdentityDefense",
     "TraceDefense",
     "Battery",
     "BatteryConfig",
@@ -24,6 +25,7 @@ __all__ = [
     "SteppedDefense",
     "CHPrConfig",
     "CHPrController",
+    "CHPrTraceDefense",
     "apply_chpr",
     "DPConfig",
     "LaplaceReleaseDefense",

@@ -59,3 +59,18 @@ class TraceDefense(ABC):
     def _distortion(visible: PowerTrace, true_load: PowerTrace) -> float:
         n = min(len(visible), len(true_load))
         return float(np.abs(visible.values[:n] - true_load.values[:n]).mean())
+
+
+class IdentityDefense(TraceDefense):
+    """The do-nothing defense: the meter reports the true load unchanged.
+
+    It anchors the privacy-utility frontier (knob setting 0, the "all
+    value, no privacy" end of Sec. III-E's dial) and gives the invariant
+    suite its calibration point: zero distortion, zero cost, zero comfort
+    impact — by construction, not by accident.
+    """
+
+    name = "identity"
+
+    def apply(self, true_load, rng=None) -> DefenseOutcome:
+        return DefenseOutcome(visible=true_load)

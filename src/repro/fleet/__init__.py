@@ -17,6 +17,11 @@ turns the single-home pipeline into a population instrument:
 - :mod:`repro.fleet.faults` — deterministic fault injection (worker
   errors, crashes, hangs) so the recovery paths above are *tested*, not
   trusted;
+- :class:`SweepGrid` / :class:`SweepRunner` / :func:`run_sweep` — the
+  Sec. III-E knob grid: (defense × knob setting × seed) cells, each one
+  fleet run of a single ``name@setting`` parametrized defense, sharded
+  with ``--shard i/n`` and resumable through the same cache; reduced by
+  :class:`FrontierReport` into privacy-utility frontier points;
 - telemetry (``telemetry=True`` / ``repro fleet --telemetry``) — per-stage
   counter/timer snapshots from :mod:`repro.obs`, captured inside each
   worker, merged into fleet totals on :class:`FleetResult` and surfaced in
@@ -36,11 +41,13 @@ from .engine import (
     FleetRunner,
     HomeFailure,
     HomeResult,
+    result_digest,
     run_fleet,
     run_home_job,
     trace_digest,
 )
 from .faults import FAULTS_ENV, FaultInjected, FaultPlan
+from .frontier import FrontierPoint, FrontierReport
 from .report import (
     BASELINE,
     DefenseDistribution,
@@ -48,11 +55,24 @@ from .report import (
     PopulationStats,
 )
 from .spec import DEFAULT_FLEET_DETECTORS, FleetSpec, HomeJob
+from .sweep import (
+    CellResult,
+    SweepCell,
+    SweepError,
+    SweepGrid,
+    SweepResult,
+    SweepRunner,
+    load_grid,
+    parse_shard,
+    run_sweep,
+    shard_cells,
+)
 
 __all__ = [
     "BASELINE",
     "CACHE_FORMAT_VERSION",
     "CacheStats",
+    "CellResult",
     "DEFAULT_FLEET_DETECTORS",
     "DefenseDistribution",
     "FAULTS_ENV",
@@ -63,13 +83,25 @@ __all__ = [
     "FleetResult",
     "FleetRunner",
     "FleetSpec",
+    "FrontierPoint",
+    "FrontierReport",
     "HomeFailure",
     "HomeJob",
     "HomeResult",
     "PopulationStats",
     "ResultCache",
+    "SweepCell",
+    "SweepError",
+    "SweepGrid",
+    "SweepResult",
+    "SweepRunner",
     "job_cache_key",
+    "load_grid",
+    "parse_shard",
+    "result_digest",
     "run_fleet",
     "run_home_job",
+    "run_sweep",
+    "shard_cells",
     "trace_digest",
 ]

@@ -78,6 +78,49 @@ def trace_digest(trace: PowerTrace) -> str:
     return h.hexdigest()
 
 
+def result_digest(result: "FleetResult") -> str:
+    """SHA-256 over everything numeric a fleet run produced.
+
+    Where :func:`trace_digest` pins one home's *metered samples*, this
+    pins the whole run's *scored output*: per-home trace digests plus
+    every tradeoff point's full float repr, in home order.  Runtime facts
+    (wall-clock, worker count, cache hits, telemetry) are excluded, so
+    serial, parallel, and cache-replayed runs of one spec share a digest.
+    The golden-regression tests pin these values so kernel and refactor
+    PRs can prove bitwise stability at fleet scope, the way
+    ``test_kernel_equivalence.py`` does per kernel.
+    """
+    h = hashlib.sha256()
+    for home in result.homes:
+        points = [("baseline", home.baseline)] + sorted(home.defenses.items())
+        h.update(
+            repr(
+                (
+                    home.index,
+                    home.preset,
+                    home.fingerprint,
+                    home.days,
+                    home.trace_digest,
+                    home.energy_kwh,
+                    [
+                        (
+                            name,
+                            sorted(p.privacy.per_detector_mcc.items()),
+                            sorted(p.privacy.per_detector_accuracy.items()),
+                            p.utility.energy_error_fraction,
+                            p.utility.peak_error_fraction,
+                            p.utility.profile_rmse_w,
+                            p.extra_energy_kwh,
+                            p.comfort_violation_fraction,
+                        )
+                        for name, p in points
+                    ],
+                )
+            ).encode()
+        )
+    return h.hexdigest()
+
+
 @dataclass(frozen=True)
 class HomeResult:
     """One home's scored outcome (what the cache stores).

@@ -1,0 +1,210 @@
+"""Privacy-utility frontier aggregation for knob sweeps (Sec. III-E).
+
+A sweep cell answers "what happens at *this* dial position of *this*
+defense, over *this* seeded population"; the paper's Fig. 6 story is the
+resulting *curve* — attack success traded against what the dial costs.
+:class:`FrontierReport` reduces each cell's per-home
+:class:`~repro.core.evaluation.TradeoffPoint` list into one
+:class:`FrontierPoint` carrying population distributions of the four
+frontier axes:
+
+* ``mcc`` — worst-case attack MCC (privacy lost to the best detector);
+* ``distortion_w`` — load-profile RMSE (what grid analytics lose);
+* ``bill_error`` — billing energy error fraction (what the bill drifts);
+* ``extra_kwh`` — energy the defense itself burned.
+
+The report also knows the *shape* the knob semantics promise: turning the
+dial up must not make the attack better.  :meth:`monotone_violations`
+checks that per (defense, seed) series, which is the acceptance gate
+``tests/test_sweep.py`` runs against every built-in knob mapping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from .report import PopulationStats
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (sweep imports us)
+    from .sweep import CellResult
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One sweep cell reduced to the frontier's four axes."""
+
+    defense: str
+    setting: float
+    seed: int
+    n_homes: int
+    n_failed: int
+    mcc: PopulationStats
+    distortion_w: PopulationStats
+    bill_error: PopulationStats
+    extra_kwh: PopulationStats
+
+    def as_dict(self) -> dict:
+        return {
+            "defense": self.defense,
+            "setting": self.setting,
+            "seed": self.seed,
+            "n_homes": self.n_homes,
+            "n_failed": self.n_failed,
+            "mcc": self.mcc.as_dict(),
+            "distortion_w": self.distortion_w.as_dict(),
+            "bill_error": self.bill_error.as_dict(),
+            "extra_kwh": self.extra_kwh.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class FrontierReport:
+    """The sweep's deliverable: frontier points plus their sanity checks."""
+
+    points: tuple[FrontierPoint, ...]
+
+    @classmethod
+    def from_cells(cls, cells: Iterable["CellResult"]) -> "FrontierReport":
+        points = []
+        for cell_result in cells:
+            homes = cell_result.fleet.homes
+            if not homes:
+                # a fully failed cell contributes no point; the sweep's
+                # failure report carries the post-mortem
+                continue
+            tradeoffs = [
+                home.defenses[cell_result.cell.knob_name] for home in homes
+            ]
+            points.append(
+                FrontierPoint(
+                    defense=cell_result.cell.defense,
+                    setting=cell_result.cell.setting,
+                    seed=cell_result.cell.seed,
+                    n_homes=len(homes),
+                    n_failed=cell_result.fleet.n_failed,
+                    mcc=PopulationStats.of(
+                        [t.privacy.worst_case_mcc for t in tradeoffs]
+                    ),
+                    distortion_w=PopulationStats.of(
+                        [t.utility.profile_rmse_w for t in tradeoffs]
+                    ),
+                    bill_error=PopulationStats.of(
+                        [t.utility.energy_error_fraction for t in tradeoffs]
+                    ),
+                    extra_kwh=PopulationStats.of(
+                        [t.extra_energy_kwh for t in tradeoffs]
+                    ),
+                )
+            )
+        points.sort(key=lambda p: (p.defense, p.setting, p.seed))
+        return cls(points=tuple(points))
+
+    # ------------------------------------------------------------------
+    # Frontier-shape checks
+    # ------------------------------------------------------------------
+    def monotone_violations(self, tolerance: float = 0.05) -> list[str]:
+        """Knob semantics check: higher setting must not raise attack MCC.
+
+        MCC estimates are noisy (finite homes, stochastic defenses), so
+        each point is compared against the *running minimum* of its
+        (defense, seed) series with a tolerance, not against the previous
+        point exactly.  Returns human-readable violation descriptions
+        (empty = frontier is sane).
+        """
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        series: dict[tuple[str, int], list[FrontierPoint]] = {}
+        for point in self.points:
+            series.setdefault((point.defense, point.seed), []).append(point)
+        violations = []
+        for (defense, seed), pts in sorted(series.items()):
+            running_min = float("inf")
+            for point in sorted(pts, key=lambda p: p.setting):
+                if point.mcc.mean > running_min + tolerance:
+                    violations.append(
+                        f"{defense}@{point.setting:g} (seed {seed}): "
+                        f"mcc {point.mcc.mean:.3f} exceeds running min "
+                        f"{running_min:.3f} + {tolerance:g}"
+                    )
+                running_min = min(running_min, point.mcc.mean)
+        return violations
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {"points": [p.as_dict() for p in self.points]}
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        doc = json.dumps(self.as_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(doc + "\n")
+        return doc
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "FrontierReport":
+        """Round-trip a :meth:`to_json` export back into a report."""
+        doc = json.loads(Path(path).read_text())
+        points = []
+        for row in doc["points"]:
+            points.append(
+                FrontierPoint(
+                    defense=row["defense"],
+                    setting=float(row["setting"]),
+                    seed=int(row["seed"]),
+                    n_homes=int(row["n_homes"]),
+                    n_failed=int(row["n_failed"]),
+                    mcc=PopulationStats(**row["mcc"]),
+                    distortion_w=PopulationStats(**row["distortion_w"]),
+                    bill_error=PopulationStats(**row["bill_error"]),
+                    extra_kwh=PopulationStats(**row["extra_kwh"]),
+                )
+            )
+        return cls(points=tuple(points))
+
+    CSV_HEADER = (
+        "defense", "setting", "seed", "n_homes", "n_failed",
+        "mcc_mean", "mcc_median", "mcc_p10", "mcc_p90",
+        "distortion_w_mean", "distortion_w_median",
+        "bill_error_mean", "bill_error_median",
+        "extra_kwh_mean", "extra_kwh_median",
+    )
+
+    def csv_rows(self) -> list[list]:
+        return [
+            [
+                p.defense, p.setting, p.seed, p.n_homes, p.n_failed,
+                p.mcc.mean, p.mcc.median, p.mcc.p10, p.mcc.p90,
+                p.distortion_w.mean, p.distortion_w.median,
+                p.bill_error.mean, p.bill_error.median,
+                p.extra_kwh.mean, p.extra_kwh.median,
+            ]
+            for p in self.points
+        ]
+
+    def to_csv(self, path: str | Path) -> Path:
+        from ..datasets.io import save_rows_csv
+
+        path = Path(path)
+        save_rows_csv(path, self.CSV_HEADER, self.csv_rows())
+        return path
+
+    def format_table(self) -> str:
+        """Aligned text view: one line per frontier point."""
+        header = (
+            f"{'defense':<12s} {'setting':>7s} {'seed':>4s} "
+            f"{'mcc':>6s} {'p90':>6s} {'rmse W':>8s} "
+            f"{'bill':>6s} {'kwh':>7s}"
+        )
+        lines = [header, "-" * len(header)]
+        for p in self.points:
+            lines.append(
+                f"{p.defense:<12s} {p.setting:>7.3f} {p.seed:>4d} "
+                f"{p.mcc.mean:>6.3f} {p.mcc.p90:>6.3f} "
+                f"{p.distortion_w.mean:>8.1f} "
+                f"{p.bill_error.mean:>6.3f} {p.extra_kwh.mean:>7.2f}"
+            )
+        return "\n".join(lines)

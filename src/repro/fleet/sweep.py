@@ -1,0 +1,361 @@
+"""Declarative privacy-knob sweeps over the fleet (the Sec. III-E grid).
+
+:func:`~repro.core.knob.sweep_knob` dials one home along one axis; the
+paper's knob story is population-scale — how does the frontier look over
+a service territory, per mechanism, per dial position?  A
+:class:`SweepGrid` declares that grid — (defense × knob setting × fleet
+seed) over a fixed home population — and :class:`SweepRunner` executes
+it as a sequence of :class:`~repro.fleet.spec.FleetSpec` runs on the
+existing fault-tolerant :class:`~repro.fleet.engine.FleetRunner`.
+
+Design choices that make the grid cheap and resumable:
+
+* **One cell = one fleet run with a single parametrized defense.**  The
+  cell's defense travels as the string ``name@setting``
+  (:func:`~repro.core.knob.knob_defense_name`), which flows through
+  pickled :class:`~repro.fleet.spec.HomeJob`\\ s and into the
+  content-addressed cache key untouched — so the sweep inherits the
+  fleet cache at per-(home, cell) granularity with zero cache-format
+  changes.  A killed sweep, rerun over the same ``cache_dir``, replays
+  finished homes from disk and executes only the remainder.
+* **Shards are a pure function of the cell list.**  ``--shard i/n``
+  takes cells ``i-1::n`` of the deterministic cell ordering
+  (:meth:`SweepGrid.cells`), so *n* machines sharing nothing but the
+  grid file partition the work exactly, and any shard can be re-run
+  alone.
+* **Telemetry is merged per cell, then across the sweep** via
+  :func:`repro.obs.merge_snapshots`; each
+  :class:`CellResult` keeps its own snapshot so a cell's cost stays
+  attributable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..core.knob import knob_defense_name, knob_mapping_names
+from ..obs import TelemetrySnapshot, merge_snapshots
+from .engine import FleetResult, FleetRunner
+from .frontier import FrontierReport
+from .spec import DEFAULT_FLEET_DETECTORS, FleetSpec
+
+
+class SweepError(ValueError):
+    """A malformed grid, shard, or grid file."""
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the grid: a dialed defense over one seeded fleet."""
+
+    defense: str
+    setting: float
+    seed: int
+
+    @property
+    def knob_name(self) -> str:
+        """The ``name@setting`` string the fleet (and its cache) sees."""
+        return knob_defense_name(self.defense, self.setting)
+
+    def label(self) -> str:
+        return f"{self.knob_name} seed={self.seed}"
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The declarative sweep: which dials, which positions, which fleet.
+
+    Every combination of ``defenses`` × ``settings`` × ``seeds`` becomes
+    one :class:`SweepCell`; all cells share the same home population
+    shape (``n_homes``, ``days``, ``mix``, ``detectors``).  Within one
+    ``seed`` the *homes* are identical across cells (fleet seeding is a
+    pure function of the fleet seed), so cells differ only by the dialed
+    defense — which is exactly what a frontier comparison needs.
+    """
+
+    defenses: tuple[str, ...]
+    settings: tuple[float, ...]
+    n_homes: int = 20
+    days: int = 1
+    seeds: tuple[int, ...] = (0,)
+    mix: tuple[str, ...] = ("random",)
+    detectors: tuple[str, ...] = DEFAULT_FLEET_DETECTORS
+
+    def __post_init__(self) -> None:
+        if not self.defenses:
+            raise SweepError("grid needs at least one defense")
+        if not self.settings:
+            raise SweepError("grid needs at least one knob setting")
+        if not self.seeds:
+            raise SweepError("grid needs at least one seed")
+        unknown = set(self.defenses) - set(knob_mapping_names())
+        if unknown:
+            raise SweepError(
+                f"no knob mapping for: {sorted(unknown)}; "
+                f"available: {knob_mapping_names()}"
+            )
+        for s in self.settings:
+            if not 0.0 <= s <= 1.0:
+                raise SweepError(f"knob setting {s!r} outside [0, 1]")
+        if len(set(self.settings)) != len(self.settings):
+            raise SweepError("duplicate knob settings in grid")
+        if len(set(self.defenses)) != len(self.defenses):
+            raise SweepError("duplicate defenses in grid")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise SweepError("duplicate seeds in grid")
+        # population-shape validation is delegated to FleetSpec, once,
+        # here — not per cell deep inside a shard on another machine
+        self.cell_spec(SweepCell(self.defenses[0], self.settings[0], self.seeds[0]))
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.defenses) * len(self.settings) * len(self.seeds)
+
+    def cells(self) -> list[SweepCell]:
+        """All cells in the canonical (defense, setting, seed) order.
+
+        The order is part of the sweep's contract: shards slice it, so
+        it must be identical on every machine given the same grid.
+        """
+        return [
+            SweepCell(defense=d, setting=float(s), seed=int(seed))
+            for d in self.defenses
+            for s in sorted(self.settings)
+            for seed in self.seeds
+        ]
+
+    def cell_spec(self, cell: SweepCell) -> FleetSpec:
+        """The fleet run computing one cell."""
+        return FleetSpec(
+            n_homes=self.n_homes,
+            days=self.days,
+            seed=cell.seed,
+            mix=self.mix,
+            defenses=(cell.knob_name,),
+            detectors=self.detectors,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "defenses": list(self.defenses),
+            "settings": list(self.settings),
+            "n_homes": self.n_homes,
+            "days": self.days,
+            "seeds": list(self.seeds),
+            "mix": list(self.mix),
+            "detectors": list(self.detectors),
+        }
+
+
+_GRID_KEYS = {
+    "defenses", "settings", "n_homes", "days", "seeds", "mix", "detectors",
+}
+
+
+def load_grid(path: str | Path) -> SweepGrid:
+    """Read a grid from a small TOML or JSON file.
+
+    The file holds exactly the :meth:`SweepGrid.as_dict` keys (all
+    optional except ``defenses`` and ``settings``); extension picks the
+    parser.  TOML needs no dependency — :mod:`tomllib` ships with the
+    interpreter.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SweepError(f"cannot read grid file {path}: {exc}") from exc
+    if path.suffix == ".toml":
+        import tomllib
+
+        try:
+            doc = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SweepError(f"bad TOML in {path}: {exc}") from exc
+    elif path.suffix == ".json":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepError(f"bad JSON in {path}: {exc}") from exc
+    else:
+        raise SweepError(
+            f"grid file {path} must end in .toml or .json"
+        )
+    if not isinstance(doc, dict):
+        raise SweepError(f"grid file {path} must hold a table/object")
+    unknown = set(doc) - _GRID_KEYS
+    if unknown:
+        raise SweepError(
+            f"unknown grid keys in {path}: {sorted(unknown)}; "
+            f"known: {sorted(_GRID_KEYS)}"
+        )
+    missing = {"defenses", "settings"} - set(doc)
+    if missing:
+        raise SweepError(f"grid file {path} missing keys: {sorted(missing)}")
+    kwargs: dict = {}
+    for key, value in doc.items():
+        if key in ("n_homes", "days"):
+            kwargs[key] = int(value)
+        elif key == "settings":
+            kwargs[key] = tuple(float(v) for v in value)
+        elif key == "seeds":
+            kwargs[key] = tuple(int(v) for v in value)
+        else:
+            kwargs[key] = tuple(str(v) for v in value)
+    try:
+        return SweepGrid(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise SweepError(f"bad grid in {path}: {exc}") from exc
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse and validate a ``--shard i/n`` argument."""
+    head, sep, tail = text.partition("/")
+    if not sep:
+        raise SweepError(f"shard must look like i/n, got {text!r}")
+    try:
+        index, total = int(head), int(tail)
+    except ValueError:
+        raise SweepError(f"shard must be two integers i/n, got {text!r}") from None
+    if total < 1 or not 1 <= index <= total:
+        raise SweepError(
+            f"shard index must satisfy 1 <= i <= n, got {index}/{total}"
+        )
+    return index, total
+
+
+def shard_cells(
+    cells: Sequence[SweepCell], shard: tuple[int, int]
+) -> list[SweepCell]:
+    """Round-robin slice of the canonical cell order for shard ``(i, n)``.
+
+    Round-robin (``cells[i-1::n]``) rather than contiguous blocks so each
+    shard spans the whole grid — expensive settings spread evenly instead
+    of landing on one machine.
+    """
+    index, total = shard
+    if total < 1 or not 1 <= index <= total:
+        raise SweepError(
+            f"shard index must satisfy 1 <= i <= n, got {index}/{total}"
+        )
+    return list(cells[index - 1 :: total])
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One executed cell: its fleet result plus attributable telemetry."""
+
+    cell: SweepCell
+    fleet: FleetResult
+
+    @property
+    def telemetry(self) -> TelemetrySnapshot | None:
+        return self.fleet.telemetry
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything one sweep pass (one shard) produced."""
+
+    grid: SweepGrid
+    shard: tuple[int, int]
+    cells: tuple[CellResult, ...]
+    elapsed_s: float
+    executed: int  # fleet jobs actually run (not replayed from cache)
+    #: sweep-level totals: every cell's fleet telemetry merged; ``None``
+    #: unless the runner collected telemetry
+    telemetry: TelemetrySnapshot | None = None
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def n_failed_homes(self) -> int:
+        return sum(c.fleet.n_failed for c in self.cells)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.fleet.ok for c in self.cells)
+
+    def frontier(self) -> FrontierReport:
+        return FrontierReport.from_cells(self.cells)
+
+
+class SweepRunner:
+    """Execute a :class:`SweepGrid` (or one shard of it) cell by cell.
+
+    Construction mirrors :class:`~repro.fleet.engine.FleetRunner` — the
+    same worker pool, cache directory, and supervision knobs apply to
+    every cell.  One underlying runner instance is reused across cells
+    so cache statistics accumulate over the whole sweep.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
+        *,
+        max_retries: int = 2,
+        job_timeout: float | None = None,
+        fail_fast: bool = False,
+        telemetry: bool = False,
+        profile_dir: str | Path | None = None,
+    ) -> None:
+        self.runner = FleetRunner(
+            workers,
+            cache_dir=cache_dir,
+            max_retries=max_retries,
+            job_timeout=job_timeout,
+            fail_fast=fail_fast,
+            telemetry=telemetry,
+            profile_dir=profile_dir,
+        )
+
+    def run(
+        self,
+        grid: SweepGrid,
+        shard: tuple[int, int] = (1, 1),
+        on_cell=None,
+    ) -> SweepResult:
+        """Run this shard's cells in order; per-cell results accumulate.
+
+        ``on_cell`` (optional callable of one :class:`CellResult`) fires
+        as each cell completes — the CLI's progress hook.
+        """
+        start = time.perf_counter()
+        cells = shard_cells(grid.cells(), shard)
+        results: list[CellResult] = []
+        executed = 0
+        for cell in cells:
+            fleet = self.runner.run(grid.cell_spec(cell))
+            executed += fleet.executed
+            result = CellResult(cell=cell, fleet=fleet)
+            results.append(result)
+            if on_cell is not None:
+                on_cell(result)
+        snapshots = [r.telemetry for r in results if r.telemetry is not None]
+        telemetry = merge_snapshots(snapshots) if snapshots else None
+        return SweepResult(
+            grid=grid,
+            shard=shard,
+            cells=tuple(results),
+            elapsed_s=time.perf_counter() - start,
+            executed=executed,
+            telemetry=telemetry,
+        )
+
+
+def run_sweep(
+    grid: SweepGrid,
+    shard: tuple[int, int] = (1, 1),
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
+    **supervisor: object,
+) -> SweepResult:
+    """One-call convenience: ``SweepRunner(...).run(grid, shard)``."""
+    return SweepRunner(workers, cache_dir, **supervisor).run(grid, shard)

@@ -46,6 +46,26 @@ class TestCLI:
         out = capsys.readouterr().out
         assert out.count("\n") >= 4  # header + 3 settings
 
+    def test_knob_reports_all_columns(self, capsys):
+        assert main(["knob", "--days", "2", "--seed", "5", "--steps", "2"]) == 0
+        header, first, *_ = capsys.readouterr().out.splitlines()
+        for column in ("knob", "attack_mcc", "utility", "extra_kwh"):
+            assert column in header
+        # one numeric row per setting, starting at the open dial
+        assert float(first.split()[0]) == 0.0
+
+    def test_knob_deterministic(self, capsys):
+        assert main(["knob", "--days", "2", "--seed", "3", "--steps", "2"]) == 0
+        first = capsys.readouterr().out
+        assert main(["knob", "--days", "2", "--seed", "3", "--steps", "2"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_info_lists_knob_mappings(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "knob mappings" in out
+        assert "name@setting" in out
+
     def test_unknown_defense_raises(self):
         with pytest.raises(Exception):
             main(["defend", "no-such-defense", "--days", "4"])
@@ -53,3 +73,98 @@ class TestCLI:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+SWEEP_ARGS = [
+    "sweep", "--defenses", "nill,smoothing", "--settings", "0,1",
+    "--homes", "2", "--days", "1", "--mix", "home-a,home-b",
+]
+
+
+class TestSweepCLI:
+    def test_inline_grid_runs(self, capsys):
+        assert main(SWEEP_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "shard 1/1 runs 4/4 cells" in out
+        assert "nill" in out and "smoothing" in out
+        assert "ran 8/8 home jobs" in out
+
+    def test_grid_file_runs(self, tmp_path, capsys):
+        grid = tmp_path / "grid.toml"
+        grid.write_text(
+            'defenses = ["nill"]\nsettings = [0.0, 1.0]\n'
+            'n_homes = 2\ndays = 1\nmix = ["home-a"]\n'
+        )
+        assert main(["sweep", "--grid", str(grid)]) == 0
+        assert "2/2 cells" in capsys.readouterr().out
+
+    def test_csv_json_round_trip(self, tmp_path, capsys):
+        from repro.fleet import FrontierReport
+
+        csv_path = tmp_path / "frontier.csv"
+        json_path = tmp_path / "frontier.json"
+        assert main(SWEEP_ARGS + ["--csv", str(csv_path),
+                                  "--json", str(json_path)]) == 0
+        report = FrontierReport.from_json(json_path)
+        assert len(report.points) == 4
+        lines = csv_path.read_text().splitlines()
+        assert tuple(lines[0].split(",")) == FrontierReport.CSV_HEADER
+        assert len(lines) == 1 + len(report.points)
+        # CSV rows carry the same means the JSON round-tripped
+        for line, point in zip(lines[1:], report.points):
+            cells = line.split(",")
+            assert cells[0] == point.defense
+            assert float(cells[5]) == pytest.approx(point.mcc.mean)
+
+    def test_telemetry_output(self, tmp_path, capsys):
+        tel = tmp_path / "tel.json"
+        assert main(SWEEP_ARGS + ["--telemetry", str(tel)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        import json
+
+        doc = json.loads(tel.read_text())
+        assert "stage.job" in doc["timers"]
+
+    def test_shard_validation(self, capsys):
+        for bad in ("0/2", "3/2", "x/y", "2"):
+            assert main(SWEEP_ARGS + ["--shard", bad]) == 2
+            assert "shard" in capsys.readouterr().err
+
+    def test_shards_split_cells(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(SWEEP_ARGS + ["--shard", "1/2", "--cache-dir", cache]) == 0
+        assert "shard 1/2 runs 2/4 cells" in capsys.readouterr().out
+        # the other shard plus the cache completes the grid
+        assert main(SWEEP_ARGS + ["--cache-dir", cache]) == 0
+        assert "ran 4/8 home jobs (4 cached)" in capsys.readouterr().out
+
+    def test_bad_grid_file_exits_2(self, tmp_path, capsys):
+        grid = tmp_path / "grid.toml"
+        grid.write_text('defenses = ["nill"]\nsettings = [0.5]\nfrobs = 1\n')
+        assert main(["sweep", "--grid", str(grid)]) == 2
+        assert "unknown grid keys" in capsys.readouterr().err
+
+    def test_missing_grid_source_exits_2(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "--grid FILE or --defenses" in capsys.readouterr().err
+
+    def test_grid_and_inline_flags_conflict(self, tmp_path, capsys):
+        grid = tmp_path / "grid.toml"
+        grid.write_text('defenses = ["nill"]\nsettings = [0.5]\n')
+        assert main(["sweep", "--grid", str(grid),
+                     "--defenses", "nill"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_unmapped_defense_exits_2(self, capsys):
+        assert main(["sweep", "--defenses", "no-such", "--homes", "1"]) == 2
+        assert "no knob mapping" in capsys.readouterr().err
+
+    def test_bad_setting_exits_2(self, capsys):
+        assert main(["sweep", "--defenses", "nill", "--settings", "0,2",
+                     "--homes", "1"]) == 2
+        assert "outside" in capsys.readouterr().err
+
+    def test_check_monotone_passes_on_sane_grid(self, capsys):
+        assert main(SWEEP_ARGS + ["--check-monotone"]) == 0
+        assert "frontier monotonicity: ok" in capsys.readouterr().out

@@ -79,9 +79,16 @@ class TestRegistry:
             register_defense("nill", lambda: NILLDefense())
 
     def test_custom_registration(self):
+        from repro.core import registry
+
         register_defense("test-custom-defense", lambda: NILLDefense())
-        assert "test-custom-defense" in defense_names()
-        assert make_defense("test-custom-defense") is not None
+        try:
+            assert "test-custom-defense" in defense_names()
+            assert make_defense("test-custom-defense") is not None
+        finally:
+            # the registry is module-global: leaking the entry would break
+            # registry-closure checks elsewhere (test_defense_invariants)
+            registry._DEFENSES.pop("test-custom-defense", None)
 
 
 class TestPipeline:

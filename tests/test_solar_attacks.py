@@ -95,20 +95,43 @@ class TestPredictedCrossings:
         assert sset[0] == pytest.approx(expected[1], abs=1e-6)
 
 
+def fast_sunspot() -> SunSpot:
+    """SunSpot with a reduced search budget for the unit tests.
+
+    The full-budget default (9x9 grid, 4 refine levels, 4x5 model
+    candidates) costs ~20 s per localization regardless of trace size —
+    the grid search dominates, not the trace — which made this file the
+    whole suite's long pole.  7x7/3-level search with the empirically
+    winning threshold/beam candidates is ~4x faster and stays well
+    inside every accuracy bound below; the full-budget search remains
+    exercised by ``benchmarks/test_fig5_localization.py``.
+    """
+    return SunSpot(
+        grid_per_side=7,
+        refine_levels=3,
+        threshold_candidates=(12.0, 25.0),
+        beam_boost_candidates=(0.0, 0.8, 1.6),
+    )
+
+
+@pytest.fixture(scope="module")
+def cloudy_localization(year_trace):
+    """One shared localization of the cloudy site (two tests assert on it)."""
+    return fast_sunspot().localize(year_trace)
+
+
 class TestSunSpot:
     def test_localizes_clean_site_within_tens_of_km(self):
         site = SolarSite("clean", LatLon(42.39, -72.53), PVArrayConfig(noise_w=0.0))
         gen = simulate_generation(site, 365, 60.0, rng=0)
-        result = SunSpot().localize(gen)
+        result = fast_sunspot().localize(gen)
         assert result.error_km(site.location) < 60.0
 
-    def test_localizes_cloudy_site(self, year_trace):
-        result = SunSpot().localize(year_trace)
-        assert result.error_km(SITE.location) < 120.0
+    def test_localizes_cloudy_site(self, cloudy_localization):
+        assert cloudy_localization.error_km(SITE.location) < 120.0
 
-    def test_longitude_is_precise(self, year_trace):
-        result = SunSpot().localize(year_trace)
-        assert abs(result.estimate.lon - SITE.location.lon) < 0.3
+    def test_longitude_is_precise(self, cloudy_localization):
+        assert abs(cloudy_localization.estimate.lon - SITE.location.lon) < 0.3
 
     def test_hard_site_still_bounded(self, weather):
         # a skewed-azimuth, horizon-blocked array: the dawn model's beam
@@ -121,7 +144,7 @@ class TestSunSpot:
             PVArrayConfig(azimuth_deg=115.0, horizon_east_deg=12.0),
         )
         gen = simulate_generation(hard, 365, 60.0, weather, rng=7)
-        result = SunSpot().localize(gen)
+        result = fast_sunspot().localize(gen)
         assert result.error_km(hard.location) < 400.0
 
     def test_too_few_days_raises(self):
