@@ -10,7 +10,10 @@ Exposes the library's main workflows without writing Python:
 * ``fleet`` — evaluate a population of homes in parallel, with caching;
 * ``sweep`` — fan a (defense × knob setting × seed) grid over the fleet
   and export the privacy-utility frontier (Fig. 6 at population scale);
-* ``info`` — list registered attacks, defenses, and home presets.
+* ``stream`` — replay a trace (or fleet) as a live chunked feed through
+  the online attack registry, reporting results and throughput;
+* ``info`` — list registered attacks, defenses, and home presets
+  (``--json`` for machine-readable registries).
 """
 
 from __future__ import annotations
@@ -161,7 +164,44 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=0.05,
                    help="MCC noise tolerance for --check-monotone")
 
-    sub.add_parser("info", help="list registered attacks, defenses, presets")
+    p = sub.add_parser(
+        "stream",
+        help="online attack evaluation over a chunked meter feed",
+        description="Replay a trace (or a simulated home's metered feed) "
+        "as fixed-size sample chunks through the streamed attack "
+        "registry (edge detection, online NIOM, filtering HMM/FHMM "
+        "decode) and report per-attack results and throughput.  With "
+        "--homes N a whole fleet is scored online.",
+    )
+    p.add_argument("--trace", help="CSV trace to replay (default: simulate --home)")
+    _add_home_args(p)
+    p.add_argument("--attacks", default="edges,niom",
+                   help="comma-separated streamed attack names "
+                   "(see 'info --json' for the registry)")
+    p.add_argument("--chunk", type=int, default=60,
+                   help="chunk size in samples (results are provably "
+                   "chunk-size invariant; this only shifts throughput)")
+    p.add_argument("--lag", type=int, default=0,
+                   help="bounded-lag smoothing window in samples for the "
+                   "hmm/fhmm decoders (0 = pure filtering)")
+    p.add_argument("--homes", type=int, default=0,
+                   help="fleet mode: stream N simulated homes instead of "
+                   "one trace")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for fleet mode")
+    p.add_argument("--mix", default="random",
+                   help="fleet-mode preset mix "
+                   f"(from: {', '.join(preset_names())})")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="export the full metrics document (results, "
+                   "throughput, samples/sec) as JSON")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="collect stage.stream.* timers and stream.samples "
+                   "counters and write the snapshot JSON")
+
+    p = sub.add_parser("info", help="list registered attacks, defenses, presets")
+    p.add_argument("--json", action="store_true",
+                   help="emit the registries as JSON (machine-readable)")
     return parser
 
 
@@ -477,14 +517,173 @@ def cmd_sweep(args) -> int:
     return 1 if not result.ok else 0
 
 
+def _write_json(path: str, doc: dict) -> None:
+    import json
+    from pathlib import Path
+
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def cmd_stream(args) -> int:
+    from .obs import TELEMETRY
+    from .stream import stream_attack_names
+
+    attacks = tuple(a.strip() for a in args.attacks.split(",") if a.strip())
+    unknown = set(attacks) - set(stream_attack_names())
+    if unknown:
+        print(f"stream: unknown attacks {sorted(unknown)}; "
+              f"available: {', '.join(stream_attack_names())}",
+              file=sys.stderr)
+        return 2
+    if args.chunk < 1:
+        print("stream: --chunk must be >= 1", file=sys.stderr)
+        return 2
+    attack_kwargs = {}
+    if args.lag:
+        for name in ("hmm", "fhmm"):
+            if name in attacks:
+                attack_kwargs[name] = {"lag": args.lag}
+
+    if args.homes:
+        return _stream_fleet(args, attacks, attack_kwargs)
+
+    from .stream import (
+        StreamClock,
+        StreamSession,
+        iter_chunks,
+        make_stream_attack,
+        simulated_meter_source,
+    )
+
+    if args.trace:
+        from .datasets import load_trace_csv
+
+        trace = load_trace_csv(args.trace)
+        values, clock, occupancy = trace.values, StreamClock.of(trace), None
+        feed = args.trace
+    else:
+        source = simulated_meter_source(args.home, args.days, args.seed)
+        values, clock = source.metered.values, source.clock
+        occupancy = source.occupancy
+        feed = f"{args.home} ({args.days} days, seed {args.seed})"
+
+    previous = TELEMETRY.enabled
+    if args.telemetry:
+        TELEMETRY.enabled = True
+    baseline = TELEMETRY.snapshot() if args.telemetry else None
+    try:
+        session = StreamSession(
+            clock,
+            {
+                name: make_stream_attack(name, **attack_kwargs.get(name, {}))
+                for name in attacks
+            },
+        )
+        for chunk in iter_chunks(values, args.chunk):
+            session.push(chunk)
+        niom_attack = session.attacks.get("niom")
+        report = session.finalize()
+        snapshot = (
+            TELEMETRY.snapshot().minus(baseline) if baseline is not None else None
+        )
+    finally:
+        TELEMETRY.enabled = previous
+
+    print(f"stream: {feed} — {report.total_samples} samples "
+          f"in chunks of {args.chunk}")
+    for name in attacks:
+        stat = report.stats[name]
+        summary = ", ".join(
+            f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in report.results[name].items()
+            if not isinstance(v, list)
+        )
+        print(f"  {name:6s} {stat.samples_per_sec:12,.0f} samples/s  {summary}")
+    doc = report.as_dict()
+    doc["chunk_samples"] = args.chunk
+    if occupancy is not None and niom_attack is not None:
+        from .attacks.niom import score_occupancy_attack
+
+        score = score_occupancy_attack(niom_attack.result.occupancy, occupancy)
+        doc["niom_score"] = score
+        print(f"  niom vs ground truth: accuracy {score['accuracy']:.2%}, "
+              f"mcc {score['mcc']:+.3f}")
+    if snapshot is not None:
+        doc["telemetry"] = snapshot.as_dict()
+        _write_json(args.telemetry, snapshot.as_dict())
+        print(f"telemetry JSON written to {args.telemetry}")
+    if args.json:
+        _write_json(args.json, doc)
+        print(f"stream metrics JSON written to {args.json}")
+    return 0
+
+
+def _stream_fleet(args, attacks, attack_kwargs) -> int:
+    from .fleet import FleetRunner, FleetSpec
+
+    mix = tuple(name.strip() for name in args.mix.split(",") if name.strip())
+    spec = FleetSpec(
+        n_homes=args.homes, days=args.days, seed=args.seed, mix=mix
+    )
+    runner = FleetRunner(
+        workers=args.workers, telemetry=args.telemetry is not None
+    )
+    result = runner.run_streaming(
+        spec,
+        attacks=attacks,
+        chunk_samples=args.chunk,
+        attack_kwargs=attack_kwargs,
+    )
+    print(f"stream fleet: {result.n_homes} home(s) x {args.days} day(s) "
+          f"on {result.workers_used} worker(s) in {result.elapsed_s:.2f}s")
+    for home in result.homes:
+        parts = [f"{home.total_samples} samples"]
+        if home.niom_score is not None:
+            parts.append(f"niom mcc {home.niom_score['mcc']:+.3f}")
+        best = max(
+            (st["samples_per_sec"] for st in home.throughput.values()),
+            default=0.0,
+        )
+        parts.append(f"peak {best:,.0f} samples/s")
+        print(f"  home {home.index} ({home.preset}): {', '.join(parts)}")
+    for failure in result.failures:
+        print(f"  FAILED home {failure.index} ({failure.preset}): "
+              f"{failure.error}")
+    if args.json:
+        _write_json(args.json, result.as_dict())
+        print(f"stream fleet JSON written to {args.json}")
+    if args.telemetry and result.telemetry is not None:
+        _write_json(args.telemetry, result.telemetry.as_dict())
+        print(f"telemetry JSON written to {args.telemetry}")
+    return 1 if result.failures else 0
+
+
 def cmd_info(args) -> int:
     from .core import defense_names, knob_mapping_names, niom_attack_names
+    from .stream import stream_attack_names
 
+    if getattr(args, "json", False):
+        import json
+
+        doc = {
+            "home_presets": list(preset_names()),
+            "niom_attacks": list(niom_attack_names()),
+            "defenses": list(defense_names()),
+            "knob_mappings": list(knob_mapping_names()),
+            "stream_attacks": stream_attack_names(),
+            "solar_attacks": ["sunspot", "weatherman"],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     print(f"home presets:   {', '.join(preset_names())}")
     print(f"niom attacks:   {', '.join(niom_attack_names())}")
     print(f"defenses:       {', '.join(defense_names())}")
     print(f"knob mappings:  {', '.join(knob_mapping_names())} "
           "(sweepable as name@setting)")
+    print(f"stream attacks: {', '.join(stream_attack_names())} "
+          "(online, see 'stream')")
     print("solar attacks:  sunspot, weatherman (see 'localize')")
     return 0
 
@@ -497,6 +696,7 @@ COMMANDS = {
     "knob": cmd_knob,
     "fleet": cmd_fleet,
     "sweep": cmd_sweep,
+    "stream": cmd_stream,
     "info": cmd_info,
 }
 

@@ -41,9 +41,12 @@ from .engine import (
     FleetRunner,
     HomeFailure,
     HomeResult,
+    HomeStreamResult,
+    StreamFleetResult,
     result_digest,
     run_fleet,
     run_home_job,
+    run_stream_job,
     trace_digest,
 )
 from .faults import FAULTS_ENV, FaultInjected, FaultPlan
@@ -88,8 +91,10 @@ __all__ = [
     "HomeFailure",
     "HomeJob",
     "HomeResult",
+    "HomeStreamResult",
     "PopulationStats",
     "ResultCache",
+    "StreamFleetResult",
     "SweepCell",
     "SweepError",
     "SweepGrid",
@@ -101,6 +106,7 @@ __all__ = [
     "result_digest",
     "run_fleet",
     "run_home_job",
+    "run_stream_job",
     "run_sweep",
     "shard_cells",
     "trace_digest",

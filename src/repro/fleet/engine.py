@@ -218,6 +218,129 @@ def run_home_job(job: HomeJob) -> HomeResult:
     )
 
 
+def run_stream_job(
+    job: HomeJob,
+    chunk_samples: int = 60,
+    attacks: tuple[str, ...] = ("edges", "niom"),
+    attack_kwargs: dict | None = None,
+) -> "HomeStreamResult":
+    """Simulate one home and score it through a streamed session.
+
+    Uses the *same* ``sim_seed`` stream as :func:`run_home_job`, so a
+    streamed fleet sees byte-identical metered traces to a batch fleet of
+    the same spec — the determinism tests compare ``trace_digest`` values
+    across the two paths.  The import is local to keep ``repro.fleet``
+    importable without the streaming subsystem loaded.
+    """
+    from ..attacks.niom import score_occupancy_attack
+    from ..stream import StreamClock, StreamSession, iter_chunks, make_stream_attack
+
+    maybe_inject(job.index, job.attempt)
+    attack_kwargs = attack_kwargs or {}
+    before = TELEMETRY.snapshot() if TELEMETRY.enabled else None
+    with TELEMETRY.timer("stage.stream.job"):
+        with TELEMETRY.timer("stage.simulate"):
+            sim = simulate_home(
+                job.config, job.days, np.random.default_rng(job.sim_seed)
+            )
+        metered = sim.metered
+        session = StreamSession(
+            StreamClock.of(metered),
+            {
+                name: make_stream_attack(name, **attack_kwargs.get(name, {}))
+                for name in attacks
+            },
+        )
+        for chunk in iter_chunks(metered.values, chunk_samples):
+            session.push(chunk)
+        niom_attack = session.attacks.get("niom")
+        report = session.finalize()
+        niom_score = None
+        if niom_attack is not None:
+            niom_score = score_occupancy_attack(
+                niom_attack.result.occupancy, sim.occupancy
+            )
+    snapshot = None
+    if before is not None:
+        snapshot = TELEMETRY.snapshot().minus(before)
+        TELEMETRY.restore(before)
+    return HomeStreamResult(
+        index=job.index,
+        preset=job.preset,
+        home_name=job.config.name,
+        fingerprint=job.fingerprint,
+        days=job.days,
+        trace_digest=trace_digest(metered),
+        total_samples=report.total_samples,
+        chunk_samples=chunk_samples,
+        results=report.results,
+        throughput={name: st.as_dict() for name, st in report.stats.items()},
+        niom_score=niom_score,
+        telemetry=snapshot,
+    )
+
+
+@dataclass(frozen=True)
+class HomeStreamResult:
+    """One home's streamed-evaluation outcome."""
+
+    index: int
+    preset: str
+    home_name: str
+    fingerprint: str
+    days: int
+    trace_digest: str
+    total_samples: int
+    chunk_samples: int
+    results: dict[str, dict]
+    throughput: dict[str, dict]
+    niom_score: dict[str, float] | None = None
+    telemetry: TelemetrySnapshot | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "preset": self.preset,
+            "home_name": self.home_name,
+            "days": self.days,
+            "trace_digest": self.trace_digest,
+            "total_samples": self.total_samples,
+            "chunk_samples": self.chunk_samples,
+            "results": dict(self.results),
+            "throughput": dict(self.throughput),
+            "niom_score": self.niom_score,
+        }
+
+
+@dataclass(frozen=True)
+class StreamFleetResult:
+    """A fleet scored online: per-home streamed results plus failures."""
+
+    spec: FleetSpec
+    homes: list["HomeStreamResult"]
+    elapsed_s: float
+    workers_used: int
+    failures: tuple[HomeFailure, ...] = ()
+    telemetry: TelemetrySnapshot | None = None
+
+    @property
+    def n_homes(self) -> int:
+        return len(self.homes)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict:
+        return {
+            "n_homes": self.n_homes,
+            "elapsed_s": self.elapsed_s,
+            "workers_used": self.workers_used,
+            "homes": [home.as_dict() for home in self.homes],
+            "failures": [f.as_dict() for f in self.failures],
+        }
+
+
 @dataclass(frozen=True)
 class FleetResult:
     """Everything one runner pass produced — including its casualties."""
@@ -405,6 +528,92 @@ class FleetRunner:
             failures=tuple(sorted(failures, key=lambda f: f.index)),
             pool_rebuilds=rebuilds,
             telemetry=telemetry,
+        )
+
+    def run_streaming(
+        self,
+        spec: FleetSpec,
+        attacks: tuple[str, ...] = ("edges", "niom"),
+        chunk_samples: int = 60,
+        attack_kwargs: dict | None = None,
+    ) -> StreamFleetResult:
+        """Score the fleet through streamed sessions instead of batch.
+
+        Deliberately lighter supervision than :meth:`run`: per-home
+        try/except isolation and the shared telemetry/fault/profiling env
+        exports, but no retry ladder, crash-rebuild, or result cache —
+        online scoring is continuous, so a failed home is simply reported
+        and the feed moves on (re-running a *live* feed is not an option
+        the way re-running a batch job is).  Seeds come from the same
+        spawned streams as the batch path, so ``trace_digest`` values
+        match :meth:`run` home-for-home.
+        """
+        import functools
+
+        from ..stream import stream_attack_names
+
+        unknown = set(attacks) - set(stream_attack_names())
+        if unknown:
+            raise ValueError(
+                f"unknown stream attacks: {sorted(unknown)}; "
+                f"available: {stream_attack_names()}"
+            )
+        start = time.perf_counter()
+        with self._telemetry_scope() as baseline:
+            jobs = spec.jobs()
+            results: dict[int, HomeStreamResult] = {}
+            failures: list[HomeFailure] = []
+            work = functools.partial(
+                run_stream_job,
+                chunk_samples=chunk_samples,
+                attacks=tuple(attacks),
+                attack_kwargs=attack_kwargs,
+            )
+            workers_used = 1
+            with self._env_exported():
+                pool = None
+                if self.workers > 1 and len(jobs) > 1:
+                    pool = self._new_pool()
+                if pool is not None:
+                    workers_used = self.workers
+                    with pool:
+                        futures = {pool.submit(work, job): job for job in jobs}
+                        for fut, job in futures.items():
+                            try:
+                                results[job.index] = fut.result()
+                            except Exception as exc:  # noqa: BLE001
+                                failures.append(
+                                    self._stream_failure(job, exc)
+                                )
+                else:
+                    for job in jobs:
+                        try:
+                            results[job.index] = work(job)
+                        except Exception as exc:  # noqa: BLE001
+                            failures.append(self._stream_failure(job, exc))
+            ordered = [
+                results[job.index] for job in jobs if job.index in results
+            ]
+            telemetry = self._collect_telemetry(baseline, ordered)
+        return StreamFleetResult(
+            spec=spec,
+            homes=ordered,
+            elapsed_s=time.perf_counter() - start,
+            workers_used=workers_used,
+            failures=tuple(sorted(failures, key=lambda f: f.index)),
+            telemetry=telemetry,
+        )
+
+    @staticmethod
+    def _stream_failure(job: HomeJob, exc: Exception) -> HomeFailure:
+        TELEMETRY.count("fleet.stream_failure")
+        return HomeFailure(
+            index=job.index,
+            preset=job.preset,
+            kind="error",
+            error=repr(exc),
+            attempts=1,
+            elapsed_s=0.0,
         )
 
     # ------------------------------------------------------------------

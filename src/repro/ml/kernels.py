@@ -134,6 +134,46 @@ def backward_scaled_loop(
     return beta
 
 
+def forward_filter_chunk(
+    startprob: np.ndarray,
+    transmat: np.ndarray,
+    b: np.ndarray,
+    alpha_prev: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scaled forward recursion over one chunk, resumable across chunks.
+
+    ``alpha_prev`` is the last normalized forward row of the preceding
+    chunk (``None`` at stream start).  Feeding a sequence through this
+    kernel chunk by chunk — any chunking, including one sample at a time —
+    produces **bitwise-identical** ``(alpha_hat, c)`` values to a single
+    :func:`forward_scaled_loop` call over the whole sequence: every step
+    performs the same ``(alpha @ a) * b[t]`` / ``sum`` / divide in the
+    same order, and no cross-step reassociation is introduced.  (The
+    Hillis-Steele scan in :func:`_estep_scan` deliberately is *not* used
+    here: its reassociation varies with sequence length, which would make
+    streamed values depend on the chunk size.)
+
+    This is the filtering primitive of the streaming decoders: ``alpha_hat[t]``
+    is the state posterior given observations up to ``t`` only.
+    """
+    n, k = b.shape
+    alpha = np.empty((n, k))
+    c = np.empty(n)
+    a = transmat
+    if alpha_prev is None:
+        alpha[0] = startprob * b[0]
+    else:
+        alpha[0] = (alpha_prev @ a) * b[0]
+    c[0] = max(alpha[0].sum(), LOG_EPS)
+    alpha[0] /= c[0]
+    for t in range(1, n):
+        alpha[t] = (alpha[t - 1] @ a) * b[t]
+        c[t] = max(alpha[t].sum(), LOG_EPS)
+        alpha[t] /= c[t]
+    TELEMETRY.count("stream.forward_chunk")
+    return alpha, c
+
+
 def estep_loop(
     startprob: np.ndarray,
     transmat: np.ndarray,

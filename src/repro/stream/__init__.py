@@ -1,0 +1,72 @@
+"""repro.stream — online attack evaluation over live meter feeds.
+
+The paper's threat model is an observer watching a smart-meter feed *as
+it arrives*.  This package turns every batch attack family in the repo
+into a push-based online evaluator with explicit seam contracts:
+
+* :mod:`~repro.stream.source` — chunk feeds (trace replay, simulated
+  meter) on a fixed :class:`StreamClock`;
+* :mod:`~repro.stream.edges` — incremental edge detection and Hart
+  pairing, bitwise-equal to the batch pass for any chunking;
+* :mod:`~repro.stream.niom` — online threshold NIOM with incremental
+  window features, bitwise-equal batch finalize;
+* :mod:`~repro.stream.decode` — filtering / bounded-lag HMM and FHMM
+  decoding on the sequential forward kernel;
+* :mod:`~repro.stream.session` — :class:`StreamSession` fan-out,
+  the :data:`STREAM_ATTACKS` registry, throughput reporting, resume.
+"""
+
+from .decode import (
+    StreamingFHMMDecoder,
+    StreamingHMMDecoder,
+    signature_fhmm,
+    two_state_power_hmm,
+)
+from .edges import StreamingEdgeDetector, StreamingHartPairer
+from .niom import StreamingThresholdNIOM
+from .session import (
+    STREAM_ATTACKS,
+    AttackStats,
+    EdgeStreamAttack,
+    FHMMStreamAttack,
+    HMMStreamAttack,
+    NIOMStreamAttack,
+    StreamReport,
+    StreamSession,
+    make_stream_attack,
+    run_stream,
+    stream_attack_names,
+)
+from .source import (
+    SimulatedMeterSource,
+    StreamClock,
+    TraceReplaySource,
+    iter_chunks,
+    simulated_meter_source,
+)
+
+__all__ = [
+    "STREAM_ATTACKS",
+    "AttackStats",
+    "EdgeStreamAttack",
+    "FHMMStreamAttack",
+    "HMMStreamAttack",
+    "NIOMStreamAttack",
+    "SimulatedMeterSource",
+    "StreamClock",
+    "StreamReport",
+    "StreamSession",
+    "StreamingEdgeDetector",
+    "StreamingFHMMDecoder",
+    "StreamingHMMDecoder",
+    "StreamingHartPairer",
+    "StreamingThresholdNIOM",
+    "TraceReplaySource",
+    "iter_chunks",
+    "make_stream_attack",
+    "run_stream",
+    "simulated_meter_source",
+    "stream_attack_names",
+    "two_state_power_hmm",
+    "signature_fhmm",
+]

@@ -1,0 +1,207 @@
+"""Online NIOM: rolling-window occupancy statistics over a live feed.
+
+:class:`StreamingThresholdNIOM` mirrors
+:class:`repro.attacks.ThresholdNIOM` exactly.  The feature extraction is
+incremental — each completed decision window's (mean, std, range, edge
+count) row is computed the moment its last sample arrives, from the same
+contiguous float64 block the batch reshape sees, so the accumulated
+feature matrix is bitwise-identical to :func:`repro.timeseries.window_features`
+for every chunking.  The calibration step (quietest-windows baseline)
+is *global* in the batch attack — it ranks all windows — so the final
+labels are produced at :meth:`finalize`, bitwise-equal to the batch
+``detect``.  While the stream is live, :meth:`provisional_occupancy`
+applies the same calibration to the windows seen so far, which is what an
+online observer actually has.
+
+Seam state carried across pushes: the partial window buffer (fewer than
+``block`` samples) and the accumulated feature rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attacks.niom import NIOMResult, _apply_night_prior
+from ..obs import TELEMETRY
+from ..timeseries import BinaryTrace
+from .source import StreamClock
+
+
+class StreamingThresholdNIOM:
+    """Push-based :class:`~repro.attacks.ThresholdNIOM`.
+
+    Parameters match the batch attack.  ``open`` fixes the window clock,
+    ``push`` consumes sample chunks in O(chunk), ``finalize`` runs the
+    global quiet-baseline calibration and returns the same
+    :class:`~repro.attacks.niom.NIOMResult` the batch attack returns.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 900.0,
+        baseline_quantile: float = 0.15,
+        mean_margin: float = 1.6,
+        std_margin: float = 2.5,
+        night_prior: bool = False,
+    ) -> None:
+        if not 0.0 < baseline_quantile < 0.5:
+            raise ValueError("baseline_quantile must be in (0, 0.5)")
+        if mean_margin <= 1.0 or std_margin <= 1.0:
+            raise ValueError("margins must exceed 1.0")
+        self.window_s = float(window_s)
+        self.baseline_quantile = baseline_quantile
+        self.mean_margin = mean_margin
+        self.std_margin = std_margin
+        self.night_prior = night_prior
+        self._clock = StreamClock(1.0)
+        self._eff_window_s = self.window_s
+        self._block = 1
+        self._buffer = np.empty(0)
+        self._rows: list[np.ndarray] = []
+        self._total = 0
+        self._opened = False
+
+    # ------------------------------------------------------------------
+    # Stream protocol
+    # ------------------------------------------------------------------
+    def open(self, clock: StreamClock) -> None:
+        self._clock = clock
+        # Same clamp as the batch _window_clock: never decide finer than
+        # the feed itself (a coarsened defense output stays decidable).
+        self._eff_window_s = max(self.window_s, clock.period_s)
+        self._block = int(round(self._eff_window_s / clock.period_s))
+        if self._block < 1:
+            raise ValueError("window shorter than one sample period")
+        self._opened = True
+
+    def push(self, values: np.ndarray) -> int:
+        """Consume a chunk; return the number of windows completed by it."""
+        if not self._opened:
+            raise RuntimeError("open() must be called before push()")
+        values = np.asarray(values, dtype=float)
+        if len(values) == 0:
+            return 0
+        self._total += len(values)
+        work = (
+            np.concatenate([self._buffer, values])
+            if len(self._buffer)
+            else values
+        )
+        n_complete = len(work) // self._block
+        for w in range(n_complete):
+            block = work[w * self._block : (w + 1) * self._block]
+            self._rows.append(self._feature_row(block))
+        self._buffer = work[n_complete * self._block :].copy()
+        TELEMETRY.count("stream.niom.windows", n_complete)
+        return n_complete
+
+    def finalize(self) -> NIOMResult:
+        """Global calibration over all windows — the exact batch output."""
+        duration_s = self._total * self._clock.period_s
+        if int(duration_s // self._eff_window_s) < 4:
+            raise ValueError("trace too short for occupancy detection")
+        features = np.stack(self._rows)
+        means = features[:, 0]
+        stds = features[:, 1]
+        n_base = max(3, int(len(means) * self.baseline_quantile))
+        quiet = np.argsort(means)[:n_base]
+        base_mean = float(np.median(means[quiet])) + 1.0
+        base_std = float(np.median(stds[quiet])) + 1.0
+        occupied = (means > self.mean_margin * base_mean) | (
+            stds > self.std_margin * base_std
+        )
+        occupied = occupied.astype(int)
+        if self.night_prior:
+            occupied = _apply_night_prior(
+                occupied, self._eff_window_s, self._clock.start_s
+            )
+        return NIOMResult(
+            occupancy=BinaryTrace(
+                occupied, self._eff_window_s, self._clock.start_s
+            ),
+            features=features,
+        )
+
+    def provisional_occupancy(self) -> np.ndarray | None:
+        """Labels an online observer would hold *right now*.
+
+        Applies the quiet-baseline calibration to the windows completed so
+        far.  Returns ``None`` until at least four windows exist (the same
+        floor the batch attack enforces for a whole trace).  Early labels
+        may be revised by later, quieter windows shifting the baseline —
+        that revision is inherent to self-calibrating NIOM, not a streaming
+        artifact, and :meth:`finalize` always converges to the batch answer.
+        """
+        if len(self._rows) < 4:
+            return None
+        features = np.stack(self._rows)
+        means = features[:, 0]
+        stds = features[:, 1]
+        n_base = max(3, int(len(means) * self.baseline_quantile))
+        quiet = np.argsort(means)[:n_base]
+        base_mean = float(np.median(means[quiet])) + 1.0
+        base_std = float(np.median(stds[quiet])) + 1.0
+        occupied = (means > self.mean_margin * base_mean) | (
+            stds > self.std_margin * base_std
+        )
+        occupied = occupied.astype(int)
+        if self.night_prior:
+            occupied = _apply_night_prior(
+                occupied, self._eff_window_s, self._clock.start_s
+            )
+        return occupied
+
+    @property
+    def n_windows(self) -> int:
+        return len(self._rows)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _feature_row(block: np.ndarray) -> np.ndarray:
+        # One row of repro.timeseries.window_features, over the identical
+        # contiguous float64 block the batch reshape addresses — every
+        # reduction therefore returns bitwise-identical values.
+        mean = block.mean()
+        std = block.std()
+        rng = block.max() - block.min()
+        diffs = np.abs(np.diff(block))
+        threshold = 2.0 * max(std, 1.0)
+        edge_count = float((diffs > threshold).sum())
+        return np.array([mean, std, rng, edge_count])
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "window_s": self.window_s,
+            "baseline_quantile": self.baseline_quantile,
+            "mean_margin": self.mean_margin,
+            "std_margin": self.std_margin,
+            "night_prior": self.night_prior,
+            "clock": self._clock.as_dict(),
+            "buffer": self._buffer.copy(),
+            "rows": [r.copy() for r in self._rows],
+            "total": self._total,
+            "opened": self._opened,
+        }
+
+    def load_state(self, state: dict) -> None:
+        for key in (
+            "window_s",
+            "baseline_quantile",
+            "mean_margin",
+            "std_margin",
+            "night_prior",
+        ):
+            if state[key] != getattr(self, key):
+                raise ValueError("state was saved with different parameters")
+        self._clock = StreamClock(**state["clock"])
+        self._opened = bool(state["opened"])
+        if self._opened:
+            self.open(self._clock)
+        self._buffer = np.asarray(state["buffer"], dtype=float).copy()
+        self._rows = [np.asarray(r, dtype=float).copy() for r in state["rows"]]
+        self._total = int(state["total"])

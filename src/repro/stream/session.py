@@ -1,0 +1,379 @@
+"""StreamSession: fan one chunk feed into every registered online attack.
+
+A :class:`StreamSession` owns a set of named attack adapters, pushes each
+arriving chunk through all of them (timed under ``stage.stream.<name>``
+telemetry), and produces a :class:`StreamReport` with per-attack results
+and throughput.  Attacks are constructed through the
+:data:`STREAM_ATTACKS` registry so sessions can be rebuilt by name — the
+basis of both the CLI and mid-stream resume
+(:meth:`StreamSession.state_dict` / :meth:`StreamSession.from_state`).
+
+The session adds *no* numerical behavior of its own: every correctness
+property (chunk-size invariance, batch equivalence) lives in the attack
+objects in :mod:`repro.stream.edges` / ``.niom`` / ``.decode``; the
+session only routes samples and observes time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..obs import TELEMETRY
+from .decode import (
+    StreamingFHMMDecoder,
+    StreamingHMMDecoder,
+    signature_fhmm,
+    two_state_power_hmm,
+)
+from .edges import StreamingEdgeDetector, StreamingHartPairer
+from .niom import StreamingThresholdNIOM
+from .source import StreamClock
+
+
+# ---------------------------------------------------------------------------
+# Attack adapters: a uniform open/push/finalize/state protocol
+# ---------------------------------------------------------------------------
+class EdgeStreamAttack:
+    """Edge detection + Hart pairing as one streamed attack."""
+
+    def __init__(
+        self,
+        min_delta_w: float = 30.0,
+        settle_samples: int = 1,
+        tolerance_w: float = 50.0,
+    ) -> None:
+        self.params = {
+            "min_delta_w": min_delta_w,
+            "settle_samples": settle_samples,
+            "tolerance_w": tolerance_w,
+        }
+        self.detector = StreamingEdgeDetector(min_delta_w, settle_samples)
+        self.pairer = StreamingHartPairer(tolerance_w)
+
+    def open(self, clock: StreamClock) -> None:
+        self.detector.open(clock)
+
+    def push(self, values: np.ndarray) -> None:
+        self.pairer.feed(self.detector.push(values))
+
+    def finalize(self) -> dict:
+        self.pairer.feed(self.detector.finalize())
+        self.edges = self.detector.edges
+        self.pairs = self.pairer.finalize()
+        rising = sum(1 for e in self.edges if e.is_rising)
+        return {
+            "n_edges": len(self.edges),
+            "n_rising": rising,
+            "n_pairs": len(self.pairs),
+            "n_open_rises": len(self.pairer.open_rises),
+        }
+
+    def state_dict(self) -> dict:
+        return {
+            "detector": self.detector.state_dict(),
+            "pairer": self.pairer.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.detector.load_state(state["detector"])
+        self.pairer.load_state(state["pairer"])
+
+
+class NIOMStreamAttack:
+    """Online threshold NIOM as a streamed attack."""
+
+    def __init__(
+        self, window_s: float = 900.0, night_prior: bool = False
+    ) -> None:
+        self.params = {"window_s": window_s, "night_prior": night_prior}
+        self.niom = StreamingThresholdNIOM(
+            window_s=window_s, night_prior=night_prior
+        )
+
+    def open(self, clock: StreamClock) -> None:
+        self.niom.open(clock)
+
+    def push(self, values: np.ndarray) -> None:
+        self.niom.push(values)
+
+    def finalize(self) -> dict:
+        self.result = self.niom.finalize()
+        occ = self.result.occupancy.values
+        return {
+            "n_windows": len(occ),
+            "occupied_fraction": float(occ.mean()),
+        }
+
+    def state_dict(self) -> dict:
+        return self.niom.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self.niom.load_state(state)
+
+
+class HMMStreamAttack:
+    """Online two-state activity decoding as a streamed attack."""
+
+    def __init__(self, lag: int = 0) -> None:
+        self.params = {"lag": lag}
+        self.decoder = StreamingHMMDecoder(two_state_power_hmm(), lag=lag)
+
+    def open(self, clock: StreamClock) -> None:
+        self.decoder.open(clock)
+
+    def push(self, values: np.ndarray) -> None:
+        self.decoder.push(values)
+
+    def finalize(self) -> dict:
+        self.decoder.finalize()
+        labels = self.decoder.labels
+        return {
+            "n_labeled": len(labels),
+            "active_fraction": float((labels == 1).mean())
+            if len(labels)
+            else 0.0,
+            "log_likelihood": self.decoder.log_likelihood(),
+        }
+
+    def state_dict(self) -> dict:
+        return self.decoder.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self.decoder.load_state(state)
+
+
+class FHMMStreamAttack:
+    """Online signature-based NILM disaggregation as a streamed attack."""
+
+    def __init__(self, lag: int = 0) -> None:
+        self.params = {"lag": lag}
+        self.decoder = StreamingFHMMDecoder(signature_fhmm(), lag=lag)
+
+    def open(self, clock: StreamClock) -> None:
+        self.decoder.open(clock)
+
+    def push(self, values: np.ndarray) -> None:
+        self.decoder.push(values)
+
+    def finalize(self) -> dict:
+        self.decoder.finalize()
+        states = self.decoder.states
+        on_fraction = (
+            (states > 0).mean(axis=0).tolist() if len(states) else []
+        )
+        return {
+            "n_labeled": int(len(states)),
+            "chain_on_fraction": on_fraction,
+            "log_likelihood": self.decoder.log_likelihood(),
+        }
+
+    def state_dict(self) -> dict:
+        return self.decoder.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self.decoder.load_state(state)
+
+
+#: Registry of streamed attacks: name -> adapter factory.  The CLI, the
+#: fleet streaming mode, and session resume all construct through this.
+STREAM_ATTACKS: dict[str, Callable[..., object]] = {
+    "edges": EdgeStreamAttack,
+    "niom": NIOMStreamAttack,
+    "hmm": HMMStreamAttack,
+    "fhmm": FHMMStreamAttack,
+}
+
+
+def make_stream_attack(name: str, **kwargs):
+    """Construct a registered streamed attack by name."""
+    try:
+        factory = STREAM_ATTACKS[name]
+    except KeyError:
+        known = ", ".join(sorted(STREAM_ATTACKS))
+        raise KeyError(f"unknown stream attack {name!r} (known: {known})")
+    return factory(**kwargs)
+
+
+def stream_attack_names() -> list[str]:
+    return sorted(STREAM_ATTACKS)
+
+
+# ---------------------------------------------------------------------------
+# Session
+# ---------------------------------------------------------------------------
+@dataclass
+class AttackStats:
+    """Wall-clock accounting for one attack within a session."""
+
+    samples: int = 0
+    pushes: int = 0
+    seconds: float = 0.0
+
+    @property
+    def samples_per_sec(self) -> float:
+        return self.samples / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "samples": self.samples,
+            "pushes": self.pushes,
+            "seconds": self.seconds,
+            "samples_per_sec": self.samples_per_sec,
+        }
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Outcome of a streamed evaluation: results plus throughput."""
+
+    total_samples: int
+    chunk_samples: int
+    duration_s: float
+    results: dict[str, dict]
+    stats: dict[str, AttackStats]
+
+    def as_dict(self) -> dict:
+        return {
+            "total_samples": self.total_samples,
+            "chunk_samples": self.chunk_samples,
+            "duration_s": self.duration_s,
+            "results": dict(self.results),
+            "throughput": {
+                name: st.as_dict() for name, st in self.stats.items()
+            },
+        }
+
+
+class StreamSession:
+    """Push one chunk feed through a set of named online attacks."""
+
+    def __init__(self, clock: StreamClock, attacks: dict[str, object]) -> None:
+        if not attacks:
+            raise ValueError("need at least one attack")
+        self.clock = clock
+        self.attacks = dict(attacks)
+        self._stats = {name: AttackStats() for name in self.attacks}
+        self._total = 0
+        self._finalized = False
+        for attack in self.attacks.values():
+            attack.open(clock)
+
+    def push(self, values: np.ndarray) -> None:
+        """Feed one chunk to every attack, timing each independently."""
+        if self._finalized:
+            raise RuntimeError("session already finalized")
+        values = np.asarray(values, dtype=float)
+        n = len(values)
+        with TELEMETRY.timer("stage.stream.push"):
+            for name, attack in self.attacks.items():
+                start = time.perf_counter()
+                with TELEMETRY.timer(f"stage.stream.{name}"):
+                    attack.push(values)
+                stat = self._stats[name]
+                stat.seconds += time.perf_counter() - start
+                stat.samples += n
+                stat.pushes += 1
+        self._total += n
+        TELEMETRY.count("stream.samples", n)
+
+    def finalize(self) -> StreamReport:
+        """Close every attack and assemble the report."""
+        if self._finalized:
+            raise RuntimeError("session already finalized")
+        self._finalized = True
+        results = {}
+        for name, attack in self.attacks.items():
+            with TELEMETRY.timer(f"stage.stream.{name}"):
+                results[name] = attack.finalize()
+        duration = self._total * self.clock.period_s
+        return StreamReport(
+            total_samples=self._total,
+            chunk_samples=0,  # set by run_stream; sessions are chunk-agnostic
+            duration_s=duration,
+            results=results,
+            stats=dict(self._stats),
+        )
+
+    @property
+    def total_samples(self) -> int:
+        return self._total
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable mid-stream state (picklable; arrays + plain data).
+
+        Captures the registry name, constructor params, and internal state
+        of every attack, so :meth:`from_state` can rebuild an equivalent
+        session with no reference to the original objects.
+        """
+        attacks = {}
+        for name, attack in self.attacks.items():
+            reg_name = next(
+                rn
+                for rn, factory in STREAM_ATTACKS.items()
+                if isinstance(attack, factory)
+            )
+            attacks[name] = {
+                "registry": reg_name,
+                "params": dict(attack.params),
+                "state": attack.state_dict(),
+            }
+        return {
+            "clock": self.clock.as_dict(),
+            "total": self._total,
+            "attacks": attacks,
+            "stats": {
+                name: (st.samples, st.pushes, st.seconds)
+                for name, st in self._stats.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamSession":
+        clock = StreamClock(**state["clock"])
+        attacks = {
+            name: make_stream_attack(spec["registry"], **spec["params"])
+            for name, spec in state["attacks"].items()
+        }
+        session = cls(clock, attacks)
+        for name, spec in state["attacks"].items():
+            session.attacks[name].load_state(spec["state"])
+        session._total = int(state["total"])
+        for name, (samples, pushes, seconds) in state["stats"].items():
+            session._stats[name] = AttackStats(samples, pushes, seconds)
+        return session
+
+
+def run_stream(
+    source,
+    attacks: Iterable[str] = ("edges", "niom"),
+    chunk_samples: int = 60,
+    attack_kwargs: dict[str, dict] | None = None,
+) -> StreamReport:
+    """Replay ``source`` through a fresh session of the named attacks.
+
+    ``attack_kwargs`` optionally maps attack name to constructor kwargs
+    (e.g. ``{"hmm": {"lag": 120}}``).
+    """
+    attack_kwargs = attack_kwargs or {}
+    built = {
+        name: make_stream_attack(name, **attack_kwargs.get(name, {}))
+        for name in attacks
+    }
+    session = StreamSession(source.clock, built)
+    for chunk in source.chunks(chunk_samples):
+        session.push(chunk)
+    report = session.finalize()
+    return StreamReport(
+        total_samples=report.total_samples,
+        chunk_samples=chunk_samples,
+        duration_s=report.duration_s,
+        results=report.results,
+        stats=report.stats,
+    )

@@ -1,0 +1,122 @@
+"""Chunk sources feeding a :class:`~repro.stream.session.StreamSession`.
+
+The streaming engine's data model is deliberately thin: a source owns a
+:class:`StreamClock` (the fixed sampling grid a real meter feed arrives
+on) and yields plain float64 sample chunks.  Keeping chunks as bare numpy
+arrays — not :class:`~repro.timeseries.PowerTrace` objects — matters for
+throughput: at chunk size 1 the per-push cost must be dominated by attack
+state updates, not object construction.
+
+Two sources cover the evaluation workloads:
+
+* :class:`TraceReplaySource` — replay any finished trace (simulator
+  output or a ``load_trace_csv`` import) as a live feed, the controlled
+  setting every streamed-vs-batch equivalence test uses;
+* :class:`simulated_meter_source` — simulate a home and replay its
+  metered trace, keeping the occupancy ground truth for scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..timeseries import BinaryTrace, PowerTrace
+
+
+@dataclass(frozen=True)
+class StreamClock:
+    """The sampling grid a stream's chunks arrive on.
+
+    Matches the ``(period, start, unit)`` annotation of a
+    :class:`~repro.timeseries.PowerTrace`: sample ``i`` of the stream
+    covers absolute time ``start_s + i * period_s``.
+    """
+
+    period_s: float
+    start_s: float = 0.0
+    unit: str = "W"
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {self.period_s}")
+
+    @classmethod
+    def of(cls, trace: PowerTrace) -> "StreamClock":
+        return cls(trace.period_s, trace.start_s, trace.unit)
+
+    def as_dict(self) -> dict:
+        return {
+            "period_s": self.period_s,
+            "start_s": self.start_s,
+            "unit": self.unit,
+        }
+
+
+def iter_chunks(values: np.ndarray, chunk_samples: int) -> Iterator[np.ndarray]:
+    """Split ``values`` into consecutive chunks of ``chunk_samples``.
+
+    The final chunk may be shorter; every sample is yielded exactly once
+    (a replayed stream must cover the trace, unlike the windowed views
+    used by batch feature extraction which drop partial tails).
+    """
+    if chunk_samples < 1:
+        raise ValueError("chunk_samples must be >= 1")
+    for i in range(0, len(values), chunk_samples):
+        yield values[i : i + chunk_samples]
+
+
+@dataclass(frozen=True)
+class TraceReplaySource:
+    """Replay a finished trace as a sequence of sample chunks."""
+
+    trace: PowerTrace
+
+    @property
+    def clock(self) -> StreamClock:
+        return StreamClock.of(self.trace)
+
+    def chunks(self, chunk_samples: int) -> Iterator[np.ndarray]:
+        return iter_chunks(self.trace.values, chunk_samples)
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+
+@dataclass(frozen=True)
+class SimulatedMeterSource:
+    """A simulated home replayed as a live meter feed.
+
+    Carries the simulation's occupancy ground truth so a session's NIOM
+    output can be scored after the fact — the attack itself never sees it.
+    """
+
+    metered: PowerTrace
+    occupancy: BinaryTrace
+    home_name: str
+
+    @property
+    def clock(self) -> StreamClock:
+        return StreamClock.of(self.metered)
+
+    def chunks(self, chunk_samples: int) -> Iterator[np.ndarray]:
+        return iter_chunks(self.metered.values, chunk_samples)
+
+    def __len__(self) -> int:
+        return len(self.metered)
+
+
+def simulated_meter_source(
+    preset: str, days: int, seed: int
+) -> SimulatedMeterSource:
+    """Simulate ``preset`` for ``days`` and wrap it as a replayable feed."""
+    from ..home import make_preset, simulate_home
+
+    sim = simulate_home(make_preset(preset, seed), days, rng=seed)
+    return SimulatedMeterSource(
+        metered=sim.metered,
+        occupancy=sim.occupancy,
+        home_name=sim.config.name,
+    )

@@ -160,9 +160,16 @@ def pair_edges(
             continue
         best: Edge | None = None
         for rise in reversed(open_rises):
+            if max_gap_s is not None and edge.time_s - rise.time_s > max_gap_s:
+                # Edges arrive in time order, so scanning open rises from
+                # newest to oldest the gap only grows: once one rise is too
+                # old, every remaining one is too.  (Seam audit: this was a
+                # `continue` inside the tolerance branch, which kept
+                # scanning rises that could never qualify — same result,
+                # wasted work.  Regression-pinned by
+                # tests/test_stream.py::TestSeamAudit.)
+                break
             if abs(rise.delta_w + edge.delta_w) <= tolerance_w:
-                if max_gap_s is not None and edge.time_s - rise.time_s > max_gap_s:
-                    continue
                 best = rise
                 break
         if best is not None:

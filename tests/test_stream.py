@@ -1,0 +1,536 @@
+"""Streaming evaluation engine: chunk-size invariance, batch equivalence,
+resume, fleet threading, and the CLI surface.
+
+The load-bearing contracts (ISSUE 6 acceptance criteria):
+
+* streamed edges / Hart pairs / NIOM are **bitwise** equal to the batch
+  pass for every tested chunk size (1, 7, 60, full trace);
+* streamed HMM/FHMM decoding is bitwise *chunk-invariant*, matches batch
+  smoothing bitwise when ``lag >= n``, and agrees with batch
+  smoothing/Viterbi within the documented tolerance at modest lag;
+* a session serialized mid-trace and rebuilt produces identical outputs;
+* the streamed fleet path sees byte-identical metered traces to the
+  batch fleet path (shared seed streams).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.attacks import ThresholdNIOM
+from repro.cli import main
+from repro.fleet import FleetRunner, FleetSpec
+from repro.ml import kernels
+from repro.stream import (
+    StreamClock,
+    StreamSession,
+    StreamingEdgeDetector,
+    StreamingFHMMDecoder,
+    StreamingHMMDecoder,
+    StreamingHartPairer,
+    StreamingThresholdNIOM,
+    TraceReplaySource,
+    iter_chunks,
+    make_stream_attack,
+    run_stream,
+    signature_fhmm,
+    simulated_meter_source,
+    stream_attack_names,
+    two_state_power_hmm,
+)
+from repro.timeseries import Edge, PowerTrace, detect_edges, pair_edges
+
+CHUNK_SIZES = (1, 7, 60, None)  # None = full trace in one push
+
+
+def _chunks(values: np.ndarray, chunk: int | None):
+    return iter_chunks(values, chunk if chunk is not None else len(values))
+
+
+def _steppy_trace(n: int = 2400, seed: int = 0, period_s: float = 60.0) -> PowerTrace:
+    """Noisy baseline with injected appliance-style steps (and edge cases:
+    a step right at index 1 and one at the final sample)."""
+    rng = np.random.default_rng(seed)
+    values = np.abs(rng.normal(200.0, 40.0, n))
+    for start in range(100, n - 150, 180):
+        values[start : start + 90] += rng.choice([0.0, 400.0, 1200.0])
+    values[1:] += 0.0
+    values[0] = 50.0
+    values[1] = 600.0  # candidate at index 1 (short pre-window)
+    values[-1] = values[-2] + 800.0  # candidate at the last index
+    return PowerTrace(values, period_s=period_s)
+
+
+class TestSources:
+    def test_iter_chunks_covers_every_sample(self):
+        values = np.arange(10.0)
+        for chunk in (1, 3, 10, 99):
+            parts = list(iter_chunks(values, chunk))
+            assert np.array_equal(np.concatenate(parts), values)
+
+    def test_iter_chunks_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(np.arange(4.0), 0))
+
+    def test_clock_of_trace(self):
+        trace = PowerTrace(np.ones(5), period_s=30.0, start_s=120.0)
+        clock = StreamClock.of(trace)
+        assert clock.period_s == 30.0
+        assert clock.start_s == 120.0
+
+    def test_clock_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            StreamClock(0.0)
+
+    def test_simulated_source_carries_ground_truth(self):
+        source = simulated_meter_source("home-a", 1, 0)
+        assert len(source) == len(source.metered)
+        assert source.occupancy is not None
+
+
+class TestStreamingEdges:
+    @pytest.mark.parametrize("settle", [1, 3])
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_bitwise_equal_to_batch(self, settle, chunk):
+        trace = _steppy_trace()
+        batch = detect_edges(trace, settle_samples=settle)
+        det = StreamingEdgeDetector(settle_samples=settle)
+        det.open(StreamClock.of(trace))
+        streamed: list[Edge] = []
+        for part in _chunks(trace.values, chunk):
+            streamed.extend(det.push(part))
+        streamed.extend(det.finalize())
+        assert streamed == batch
+
+    def test_seam_straddling_settle_windows(self):
+        # chunk size below the settle span: every pre/post window straddles
+        # at least one seam
+        trace = _steppy_trace(n=600)
+        batch = detect_edges(trace, settle_samples=5)
+        det = StreamingEdgeDetector(settle_samples=5)
+        det.open(StreamClock.of(trace))
+        out: list[Edge] = []
+        for part in iter_chunks(trace.values, 2):
+            out.extend(det.push(part))
+        out.extend(det.finalize())
+        assert out == batch
+
+    def test_edge_at_first_and_last_index_survive(self):
+        trace = _steppy_trace()
+        indices = {e.index for e in detect_edges(trace, settle_samples=3)}
+        assert 1 in indices
+        assert len(trace) - 1 in indices
+
+    def test_push_after_finalize_raises(self):
+        det = StreamingEdgeDetector()
+        det.open(StreamClock(60.0))
+        det.push(np.array([0.0, 100.0]))
+        det.finalize()
+        with pytest.raises(RuntimeError):
+            det.push(np.array([0.0]))
+
+    def test_empty_chunks_are_noops(self):
+        trace = _steppy_trace(n=400)
+        det = StreamingEdgeDetector()
+        det.open(StreamClock.of(trace))
+        for part in iter_chunks(trace.values, 50):
+            det.push(part)
+            det.push(np.empty(0))
+        det.finalize()
+        assert det.edges == detect_edges(trace)
+
+
+class TestSeamAudit:
+    """Regression pins for the pair_edges gap-scan audit (`continue` ->
+    early `break`: older open rises only have larger gaps)."""
+
+    @staticmethod
+    def _pair_edges_pre_audit(edges, tolerance_w=50.0, max_gap_s=None):
+        # the pre-audit loop body, kept verbatim as the reference
+        open_rises, pairs = [], []
+        for edge in edges:
+            if edge.is_rising:
+                open_rises.append(edge)
+                continue
+            best = None
+            for rise in reversed(open_rises):
+                if abs(rise.delta_w + edge.delta_w) <= tolerance_w:
+                    if max_gap_s is not None and edge.time_s - rise.time_s > max_gap_s:
+                        continue
+                    best = rise
+                    break
+            if best is not None:
+                open_rises.remove(best)
+                pairs.append((best, edge))
+        pairs.sort(key=lambda p: p[0].time_s)
+        return pairs
+
+    @pytest.mark.parametrize("max_gap_s", [None, 1800.0, 7200.0])
+    def test_break_matches_pre_audit_continue(self, max_gap_s):
+        edges = detect_edges(_steppy_trace(seed=5))
+        assert pair_edges(edges, max_gap_s=max_gap_s) == self._pair_edges_pre_audit(
+            edges, max_gap_s=max_gap_s
+        )
+
+    @pytest.mark.parametrize("max_gap_s", [None, 1800.0])
+    def test_streamed_pairer_matches_batch(self, max_gap_s):
+        trace = _steppy_trace(seed=6)
+        edges = detect_edges(trace)
+        batch = pair_edges(edges, max_gap_s=max_gap_s)
+        det = StreamingEdgeDetector()
+        det.open(StreamClock.of(trace))
+        pairer = StreamingHartPairer(max_gap_s=max_gap_s)
+        for part in iter_chunks(trace.values, 17):
+            pairer.feed(det.push(part))
+        pairer.feed(det.finalize())
+        assert pairer.finalize() == batch
+
+    def test_unpaired_rise_carries_across_many_chunks(self):
+        # one rise in the first chunk, its fall hundreds of samples later
+        values = np.full(900, 100.0)
+        values[3:800] = 700.0  # rise at 3, fall at 800
+        trace = PowerTrace(values, period_s=60.0)
+        det = StreamingEdgeDetector()
+        det.open(StreamClock.of(trace))
+        pairer = StreamingHartPairer()
+        for part in iter_chunks(values, 10):
+            pairer.feed(det.push(part))
+        pairer.feed(det.finalize())
+        pairs = pairer.finalize()
+        assert pairs == pair_edges(detect_edges(trace))
+        assert len(pairs) == 1
+        assert pairs[0][0].index == 3 and pairs[0][1].index == 800
+
+
+class TestStreamingNIOM:
+    @pytest.mark.parametrize("night_prior", [False, True])
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_bitwise_equal_to_batch(self, night_prior, chunk):
+        trace = _steppy_trace()
+        batch = ThresholdNIOM(night_prior=night_prior).detect(trace)
+        niom = StreamingThresholdNIOM(night_prior=night_prior)
+        niom.open(StreamClock.of(trace))
+        for part in _chunks(trace.values, chunk):
+            niom.push(part)
+        result = niom.finalize()
+        assert np.array_equal(result.features, batch.features)
+        assert np.array_equal(result.occupancy.values, batch.occupancy.values)
+        assert result.occupancy.period_s == batch.occupancy.period_s
+
+    def test_too_short_guard_matches_batch(self):
+        trace = PowerTrace(np.ones(30), period_s=60.0)
+        with pytest.raises(ValueError, match="too short"):
+            ThresholdNIOM().detect(trace)
+        niom = StreamingThresholdNIOM()
+        niom.open(StreamClock.of(trace))
+        niom.push(trace.values)
+        with pytest.raises(ValueError, match="too short"):
+            niom.finalize()
+
+    def test_provisional_labels_warm_up_and_converge(self):
+        trace = _steppy_trace()
+        niom = StreamingThresholdNIOM()
+        niom.open(StreamClock.of(trace))
+        niom.push(trace.values[:20])  # one window at most
+        assert niom.provisional_occupancy() is None
+        niom.push(trace.values[20:])
+        provisional = niom.provisional_occupancy()
+        final = niom.finalize()
+        assert np.array_equal(provisional, final.occupancy.values)
+
+
+class TestStreamingHMM:
+    def _trace(self, n=1500, seed=1):
+        rng = np.random.default_rng(seed)
+        values = np.abs(rng.normal(180.0, 60.0, n))
+        for start in range(0, n, 300):
+            if rng.random() < 0.5:
+                values[start : start + 150] += 900.0
+        return PowerTrace(values, period_s=60.0)
+
+    def _batch_forward(self, hmm, values):
+        log_b = hmm._emission_logprob(values.reshape(-1, 1))
+        shift = log_b.max(axis=1)
+        b = np.exp(log_b - shift[:, None])
+        alpha, c = kernels.forward_scaled_loop(hmm.startprob_, hmm.transmat_, b)
+        return b, shift, alpha, c
+
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_filtering_is_bitwise_chunk_invariant(self, chunk):
+        trace = self._trace()
+        hmm = two_state_power_hmm()
+        _, shift, alpha_ref, c_ref = self._batch_forward(hmm, trace.values)
+        dec = StreamingHMMDecoder(hmm, lag=0, keep_history=True)
+        dec.open(StreamClock.of(trace))
+        for part in _chunks(trace.values, chunk):
+            dec.push(part)
+        dec.finalize()
+        assert np.array_equal(dec.alpha_history, alpha_ref)
+        assert dec.log_likelihood() == float(np.log(c_ref).sum() + shift.sum())
+        assert np.array_equal(dec.labels, np.argmax(alpha_ref, axis=1))
+
+    def test_full_lag_matches_batch_smoothing_bitwise(self):
+        trace = self._trace()
+        hmm = two_state_power_hmm()
+        b, _, _, _ = self._batch_forward(hmm, trace.values)
+        gamma, _, _ = kernels.estep_loop(
+            hmm.startprob_, hmm.transmat_, b, want_xi=False
+        )
+        dec = StreamingHMMDecoder(hmm, lag=len(trace) + 1)
+        dec.open(StreamClock.of(trace))
+        for part in iter_chunks(trace.values, 97):
+            dec.push(part)
+        dec.finalize()
+        assert np.array_equal(dec.labels, np.argmax(gamma, axis=1))
+
+    def test_bounded_lag_labels_chunk_invariant_and_accurate(self):
+        trace = self._trace()
+        hmm = two_state_power_hmm()
+        b, _, _, _ = self._batch_forward(hmm, trace.values)
+        gamma, _, _ = kernels.estep_loop(
+            hmm.startprob_, hmm.transmat_, b, want_xi=False
+        )
+        smoothed = np.argmax(gamma, axis=1)
+        reference = None
+        for chunk in CHUNK_SIZES:
+            dec = StreamingHMMDecoder(hmm, lag=30)
+            dec.open(StreamClock.of(trace))
+            for part in _chunks(trace.values, chunk):
+                dec.push(part)
+            dec.finalize()
+            labels = dec.labels
+            assert len(labels) == len(trace)
+            if reference is None:
+                reference = labels
+            else:
+                assert np.array_equal(labels, reference)
+        # documented filtering-vs-smoothing tolerance: bounded-lag labels
+        # agree with full smoothing on >= 95% of samples for this workload
+        assert (reference == smoothed).mean() >= 0.95
+
+
+class TestStreamingFHMM:
+    def _trace(self, n=1200, seed=3):
+        rng = np.random.default_rng(seed)
+        values = np.abs(rng.normal(150.0, 40.0, n))
+        for start in range(0, n, 240):
+            if rng.random() < 0.6:
+                values[start : start + 120] += 1500.0
+        return PowerTrace(values, period_s=60.0)
+
+    def test_chunk_invariant_and_agrees_with_viterbi(self):
+        trace = self._trace()
+        fhmm = signature_fhmm()
+        reference = None
+        for chunk in CHUNK_SIZES:
+            dec = StreamingFHMMDecoder(fhmm, lag=20)
+            dec.open(StreamClock.of(trace))
+            for part in _chunks(trace.values, chunk):
+                dec.push(part)
+            dec.finalize()
+            states = dec.states
+            if reference is None:
+                reference = states
+            else:
+                assert np.array_equal(states, reference)
+        viterbi = fhmm.decode(trace.values)
+        # documented tolerance: per-sample posterior argmax vs MAP path
+        assert (reference == viterbi).all(axis=1).mean() >= 0.9
+
+    def test_powers_map_through_chain_means(self):
+        trace = self._trace(n=600)
+        fhmm = signature_fhmm()
+        dec = StreamingFHMMDecoder(fhmm, lag=10)
+        dec.open(StreamClock.of(trace))
+        for part in iter_chunks(trace.values, 100):
+            dec.push(part)
+        dec.finalize()
+        powers = dec.powers()
+        assert powers.shape == (len(trace), len(fhmm.chains))
+        assert (powers >= 0.0).all()
+
+
+class TestStreamSession:
+    ATTACKS = ("edges", "niom", "hmm", "fhmm")
+    KWARGS = {"hmm": {"lag": 25}, "fhmm": {"lag": 25}}
+
+    def test_results_identical_across_chunk_sizes(self):
+        trace = _steppy_trace(n=1800)
+        source = TraceReplaySource(trace)
+        reference = None
+        for chunk in (1, 7, 60, len(trace)):
+            report = run_stream(
+                source,
+                attacks=self.ATTACKS,
+                chunk_samples=chunk,
+                attack_kwargs=self.KWARGS,
+            )
+            assert report.total_samples == len(trace)
+            if reference is None:
+                reference = report.results
+            else:
+                assert report.results == reference
+
+    def test_resume_mid_trace_is_lossless(self):
+        trace = _steppy_trace(n=1800, seed=9)
+        source = TraceReplaySource(trace)
+        full = run_stream(
+            source,
+            attacks=self.ATTACKS,
+            chunk_samples=150,
+            attack_kwargs=self.KWARGS,
+        )
+        session = StreamSession(
+            source.clock,
+            {
+                name: make_stream_attack(name, **self.KWARGS.get(name, {}))
+                for name in self.ATTACKS
+            },
+        )
+        parts = list(source.chunks(150))
+        for part in parts[:5]:
+            session.push(part)
+        blob = pickle.dumps(session.state_dict())
+        del session
+        resumed = StreamSession.from_state(pickle.loads(blob))
+        for part in parts[5:]:
+            resumed.push(part)
+        assert resumed.finalize().results == full.results
+
+    def test_telemetry_does_not_change_results(self):
+        from repro.obs import TELEMETRY
+
+        trace = _steppy_trace(n=1200, seed=4)
+        source = TraceReplaySource(trace)
+        off = run_stream(source, attacks=("edges", "niom"), chunk_samples=90)
+        previous = TELEMETRY.enabled
+        before = TELEMETRY.snapshot()
+        TELEMETRY.enabled = True
+        try:
+            on = run_stream(source, attacks=("edges", "niom"), chunk_samples=90)
+            delta = TELEMETRY.snapshot().minus(before)
+        finally:
+            TELEMETRY.enabled = previous
+            TELEMETRY.restore(before)
+        assert on.results == off.results
+        assert delta.counters["stream.samples"] == len(trace)
+        assert "stage.stream.push" in delta.timers
+        assert "stage.stream.edges" in delta.timers
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(KeyError, match="unknown stream attack"):
+            make_stream_attack("nope")
+        assert set(TestStreamSession.ATTACKS) <= set(stream_attack_names())
+
+    def test_push_after_finalize_raises(self):
+        trace = _steppy_trace(n=1200)
+        session = StreamSession(
+            StreamClock.of(trace), {"edges": make_stream_attack("edges")}
+        )
+        session.push(trace.values)
+        session.finalize()
+        with pytest.raises(RuntimeError):
+            session.push(trace.values[:5])
+
+
+class TestFleetStreaming:
+    def test_trace_digests_match_batch_path(self):
+        spec = FleetSpec(
+            n_homes=2, days=1, seed=11, mix=("home-a",), defenses=("identity",)
+        )
+        runner = FleetRunner(workers=1)
+        batch = runner.run(spec)
+        streamed = runner.run_streaming(
+            spec, attacks=("edges", "niom"), chunk_samples=120
+        )
+        assert streamed.ok
+        assert [h.trace_digest for h in streamed.homes] == [
+            h.trace_digest for h in batch.homes
+        ]
+        for home in streamed.homes:
+            assert home.niom_score is not None
+            assert -1.0 <= home.niom_score["mcc"] <= 1.0
+            assert home.results["edges"]["n_edges"] >= 0
+
+    def test_streamed_fleet_is_deterministic(self):
+        spec = FleetSpec(n_homes=2, days=1, seed=3, mix=("home-b",))
+        runner = FleetRunner(workers=1)
+        first = runner.run_streaming(spec, attacks=("niom",), chunk_samples=60)
+        second = runner.run_streaming(spec, attacks=("niom",), chunk_samples=60)
+
+        def _stable(home):
+            doc = home.as_dict()
+            doc.pop("throughput")  # wall-clock timings vary run to run
+            return doc
+
+        assert [_stable(h) for h in first.homes] == [
+            _stable(h) for h in second.homes
+        ]
+
+    def test_unknown_stream_attack_rejected_up_front(self):
+        spec = FleetSpec(n_homes=1, days=1, seed=0, mix=("home-a",))
+        with pytest.raises(ValueError, match="unknown stream attacks"):
+            FleetRunner().run_streaming(spec, attacks=("bogus",))
+
+
+class TestStreamCLI:
+    def test_stream_simulated_home_with_json(self, tmp_path, capsys):
+        out = tmp_path / "stream.json"
+        assert main([
+            "stream", "--home", "home-a", "--days", "1", "--seed", "2",
+            "--attacks", "edges,niom", "--chunk", "120",
+            "--json", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["chunk_samples"] == 120
+        assert set(doc["results"]) == {"edges", "niom"}
+        assert doc["niom_score"]["accuracy"] >= 0.0
+        assert "samples/s" in capsys.readouterr().out
+
+    def test_stream_replays_csv_trace(self, tmp_path, capsys):
+        from repro.datasets import save_trace_csv
+
+        path = tmp_path / "trace.csv"
+        save_trace_csv(_steppy_trace(n=1200), path)
+        assert main(["stream", "--trace", str(path), "--attacks", "edges"]) == 0
+        assert "edges" in capsys.readouterr().out
+
+    def test_stream_fleet_mode(self, tmp_path):
+        out = tmp_path / "fleet.json"
+        assert main([
+            "stream", "--homes", "2", "--days", "1", "--mix", "home-a",
+            "--chunk", "60", "--json", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["n_homes"] == 2
+        assert len(doc["homes"]) == 2
+
+    def test_stream_rejects_unknown_attack(self, capsys):
+        assert main(["stream", "--attacks", "bogus"]) == 2
+        assert "unknown attacks" in capsys.readouterr().err
+
+    def test_stream_telemetry_export(self, tmp_path):
+        out = tmp_path / "tel.json"
+        assert main([
+            "stream", "--home", "home-a", "--days", "1",
+            "--attacks", "niom", "--telemetry", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["counters"]["stream.samples"] == 1440
+        assert "stage.stream.niom" in doc["timers"]
+
+    def test_info_json_lists_registries(self, capsys):
+        assert main(["info", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "edges" in doc["stream_attacks"]
+        assert doc["defenses"]
+        assert doc["knob_mappings"]
+        assert doc["niom_attacks"]
+
+    def test_info_plain_mentions_stream(self, capsys):
+        assert main(["info"]) == 0
+        assert "stream attacks" in capsys.readouterr().out
