@@ -1,0 +1,235 @@
+"""Graceful-degradation benchmark: attack fidelity vs feed damage.
+
+Quantifies what the :class:`~repro.stream.guard.FeedGuard` recovery
+policies actually preserve as a feed degrades, along two axes driven by
+the deterministic fault injector (:mod:`repro.stream.faults`):
+
+* **corruption sweep** — samples replaced with NaN at increasing rates,
+  scrubbed by the default ``hold-last`` policy.  Because scrubbing keeps
+  the sample grid intact, the degraded HMM label sequence aligns with
+  the clean one sample-for-sample, so fidelity is plain label agreement.
+* **dropout sweep** — chunks that never arrive, handled by the default
+  ``resync`` policy.  Here the grid has holes, so fidelity is label
+  *coverage* (labels emitted / wall-clock samples) plus the fraction of
+  clean-feed edges still recovered.
+
+Also measures **guard overhead**: wall-clock for a clean replay pushed
+through a default-policy guard vs straight into the session.  On a
+clean feed the guard is a single finiteness scan per chunk — the pytest
+floor pins that it stays under 50% of bare session time, and the
+rate-0.0 sweep rows double as clean-feed invariance checks (agreement
+exactly 1.0).
+
+Writes ``BENCH_stream_degradation.json`` (override with
+``REPRO_BENCH_STREAM_DEGRADATION_OUT``); CI uploads it as a workflow
+artifact.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_stream_degradation.py
+
+or through pytest, which asserts the degradation floors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.stream import (
+    FeedGuard,
+    GuardPolicy,
+    StreamClock,
+    StreamFaultPlan,
+    StreamSession,
+    inject_stream_faults,
+    make_stream_attack,
+    tagged_chunks,
+)
+from repro.timeseries import PowerTrace
+
+OUT_ENV = "REPRO_BENCH_STREAM_DEGRADATION_OUT"
+DEFAULT_OUT = "BENCH_stream_degradation.json"
+
+#: fault rates swept along each damage axis (0.0 pins clean-feed parity)
+RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
+
+#: pytest floors — chosen well below observed values so the benchmark
+#: flags regressions, not scheduler noise
+CORRUPT_5PCT_AGREEMENT_FLOOR = 0.90
+DROPOUT_20PCT_COVERAGE_FLOOR = 0.60
+DROPOUT_20PCT_EDGE_RATIO_FLOOR = 0.30
+GUARD_OVERHEAD_CEILING = 0.50
+
+CHUNK = 60
+
+
+def _workload_trace(days: int = 2, period_s: float = 60.0) -> PowerTrace:
+    n = int(days * 86400 / period_s)
+    rng = np.random.default_rng(42)
+    values = np.abs(rng.normal(220.0, 60.0, n))
+    for start in range(120, n - 240, 210):
+        values[start : start + 120] += rng.choice([0.0, 150.0, 900.0, 1500.0])
+    return PowerTrace(values, period_s=period_s)
+
+
+def _drive(trace: PowerTrace, plan: StreamFaultPlan | None,
+           policy: GuardPolicy) -> tuple[StreamSession, dict]:
+    """One guarded pass over ``trace``; returns (session, guard stats)."""
+    session = StreamSession(
+        StreamClock.of(trace),
+        {name: make_stream_attack(name) for name in ("edges", "hmm")},
+    )
+    guard = FeedGuard(session, policy)
+    feed = tagged_chunks(trace.values, CHUNK)
+    if plan is not None:
+        feed = inject_stream_faults(feed, plan)
+    for at, part in feed:
+        guard.push(part, at=at)
+    session.finalize(guard=guard)
+    return session, guard.stats.as_dict()
+
+
+def _labels(session: StreamSession) -> np.ndarray:
+    return session.attacks["hmm"].decoder.labels
+
+
+def _n_edges(session: StreamSession) -> int:
+    return len(session.attacks["edges"].detector.edges)
+
+
+def corruption_sweep(trace: PowerTrace, clean: StreamSession) -> list[dict]:
+    """NaN corruption scrubbed by hold-last: per-sample label agreement."""
+    ref = _labels(clean)
+    rows = []
+    for rate in RATES:
+        plan = StreamFaultPlan(seed=13, corrupt_rate=rate) if rate else None
+        session, stats = _drive(
+            trace, plan, GuardPolicy(value_policy="hold-last")
+        )
+        got = _labels(session)
+        rows.append({
+            "corrupt_rate": rate,
+            "label_agreement": round(float(np.mean(got == ref)), 4),
+            "edge_ratio": round(_n_edges(session) / max(1, _n_edges(clean)), 4),
+            "quarantined_values": stats["quarantined_values"],
+        })
+    return rows
+
+
+def dropout_sweep(trace: PowerTrace, clean: StreamSession) -> list[dict]:
+    """Chunk dropout handled by resync: coverage and edge recovery."""
+    n = len(trace)
+    rows = []
+    for rate in RATES:
+        plan = StreamFaultPlan(seed=13, dropout_rate=rate) if rate else None
+        session, stats = _drive(
+            trace, plan, GuardPolicy(gap_policy="resync")
+        )
+        rows.append({
+            "dropout_rate": rate,
+            "label_coverage": round(len(_labels(session)) / n, 4),
+            "edge_ratio": round(_n_edges(session) / max(1, _n_edges(clean)), 4),
+            "gap_samples": stats["gap_samples"],
+            "resyncs": stats["resyncs"],
+        })
+    return rows
+
+
+def guard_overhead(trace: PowerTrace, reps: int = 3) -> dict:
+    """Clean-replay wall clock: guarded vs bare session (best of reps)."""
+    def bare() -> float:
+        session = StreamSession(
+            StreamClock.of(trace),
+            {name: make_stream_attack(name) for name in ("edges", "hmm")},
+        )
+        t0 = time.perf_counter()
+        for _, part in tagged_chunks(trace.values, CHUNK):
+            session.push(part)
+        session.finalize()
+        return time.perf_counter() - t0
+
+    def guarded() -> float:
+        session = StreamSession(
+            StreamClock.of(trace),
+            {name: make_stream_attack(name) for name in ("edges", "hmm")},
+        )
+        guard = FeedGuard(session)
+        t0 = time.perf_counter()
+        for _, part in tagged_chunks(trace.values, CHUNK):
+            guard.push(part)
+        session.finalize(guard=guard)
+        return time.perf_counter() - t0
+
+    bare_s = min(bare() for _ in range(reps))
+    guarded_s = min(guarded() for _ in range(reps))
+    return {
+        "bare_s": round(bare_s, 6),
+        "guarded_s": round(guarded_s, 6),
+        "overhead_frac": round(max(0.0, guarded_s / bare_s - 1.0), 4),
+    }
+
+
+def run_benchmarks(days: int = 2) -> dict:
+    trace = _workload_trace(days=days)
+    clean, _ = _drive(trace, None, GuardPolicy())
+    return {
+        "schema": "repro.bench_stream_degradation/1",
+        "trace": {"days": days, "period_s": trace.period_s,
+                  "samples": len(trace)},
+        "chunk_samples": CHUNK,
+        "corruption": corruption_sweep(trace, clean),
+        "dropout": dropout_sweep(trace, clean),
+        "guard_overhead": guard_overhead(trace),
+    }
+
+
+def write_report(doc: dict) -> str:
+    out = os.environ.get(OUT_ENV, DEFAULT_OUT)
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    return out
+
+
+def _print_table(doc: dict) -> None:
+    print(f"\n{'corrupt':>8} {'agree':>8} {'edges':>8}")
+    for row in doc["corruption"]:
+        print(f"{row['corrupt_rate']:>8.2f} {row['label_agreement']:>8.4f} "
+              f"{row['edge_ratio']:>8.4f}")
+    print(f"\n{'dropout':>8} {'cover':>8} {'edges':>8} {'resyncs':>8}")
+    for row in doc["dropout"]:
+        print(f"{row['dropout_rate']:>8.2f} {row['label_coverage']:>8.4f} "
+              f"{row['edge_ratio']:>8.4f} {row['resyncs']:>8}")
+    oh = doc["guard_overhead"]
+    print(f"\nguard overhead: {oh['overhead_frac']:.1%} "
+          f"({oh['bare_s']:.3f}s -> {oh['guarded_s']:.3f}s)")
+
+
+def test_bench_stream_degradation():
+    """Pytest entry: record the curves, assert the degradation floors."""
+    doc = run_benchmarks()
+    out = write_report(doc)
+    _print_table(doc)
+    print(f"wrote {out}")
+
+    corrupt = {row["corrupt_rate"]: row for row in doc["corruption"]}
+    dropout = {row["dropout_rate"]: row for row in doc["dropout"]}
+    # rate 0.0 doubles as the clean-feed invariance pin
+    assert corrupt[0.0]["label_agreement"] == 1.0
+    assert corrupt[0.0]["edge_ratio"] == 1.0
+    assert dropout[0.0]["label_coverage"] == 1.0
+    assert dropout[0.0]["edge_ratio"] == 1.0
+    assert corrupt[0.05]["label_agreement"] >= CORRUPT_5PCT_AGREEMENT_FLOOR
+    assert dropout[0.2]["label_coverage"] >= DROPOUT_20PCT_COVERAGE_FLOOR
+    assert dropout[0.2]["edge_ratio"] >= DROPOUT_20PCT_EDGE_RATIO_FLOOR
+    assert (
+        doc["guard_overhead"]["overhead_frac"] <= GUARD_OVERHEAD_CEILING
+    ), "clean-feed guard scan should be nearly free"
+
+
+if __name__ == "__main__":
+    doc = run_benchmarks()
+    out = write_report(doc)
+    _print_table(doc)
+    print(f"wrote {out}")

@@ -184,11 +184,35 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lag", type=int, default=0,
                    help="bounded-lag smoothing window in samples for the "
                    "hmm/fhmm decoders (0 = pure filtering)")
+    p.add_argument("--value-policy", default="hold-last",
+                   choices=["drop", "hold-last", "zero-fill"],
+                   help="feed-guard policy for NaN/inf/negative samples")
+    p.add_argument("--gap-policy", default="resync",
+                   choices=["hold", "fill", "resync"],
+                   help="feed-guard policy for clock gaps (resync resets "
+                   "attack seam state at the discontinuity)")
+    p.add_argument("--max-gap", type=int, default=0,
+                   help="declare the feed dead after a gap of more than N "
+                   "samples (0 disables the watchdog)")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="write periodic session checkpoints to DIR so a "
+                   "killed run can --resume")
+    p.add_argument("--checkpoint-every", type=int, default=3600,
+                   help="samples between checkpoint writes")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the checkpoint in --checkpoint DIR "
+                   "(bitwise-identical to an uninterrupted run)")
     p.add_argument("--homes", type=int, default=0,
                    help="fleet mode: stream N simulated homes instead of "
                    "one trace")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for fleet mode")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="fleet mode: retries per home after the first "
+                   "failed attempt")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="fleet mode: per-home wall-clock timeout in "
+                   "seconds (requires --workers > 1)")
     p.add_argument("--mix", default="random",
                    help="fleet-mode preset mix "
                    f"(from: {', '.join(preset_names())})")
@@ -546,13 +570,29 @@ def cmd_stream(args) -> int:
             if name in attacks:
                 attack_kwargs[name] = {"lag": args.lag}
 
+    try:
+        guard_policy = _guard_policy(args)
+    except ValueError as exc:
+        print(f"stream: {exc}", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint:
+        print("stream: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
+
     if args.homes:
-        return _stream_fleet(args, attacks, attack_kwargs)
+        return _stream_fleet(args, attacks, attack_kwargs, guard_policy)
+
+    import os as _os
 
     from .stream import (
-        StreamClock,
+        Checkpointer,
+        FeedGuard,
         StreamSession,
-        iter_chunks,
+        TraceReplaySource,
+        active_stream_plan,
+        drive_stream,
+        has_checkpoint,
+        load_checkpoint,
         make_stream_attack,
         simulated_meter_source,
     )
@@ -561,30 +601,58 @@ def cmd_stream(args) -> int:
         from .datasets import load_trace_csv
 
         trace = load_trace_csv(args.trace)
-        values, clock, occupancy = trace.values, StreamClock.of(trace), None
+        source, occupancy = TraceReplaySource(trace), None
         feed = args.trace
     else:
         source = simulated_meter_source(args.home, args.days, args.seed)
-        values, clock = source.metered.values, source.clock
         occupancy = source.occupancy
         feed = f"{args.home} ({args.days} days, seed {args.seed})"
+
+    fault_plan = active_stream_plan()
+    kill_after = _os.environ.get("REPRO_STREAM_KILL_AFTER")
+    kill_after = int(kill_after) if kill_after else None
+    checkpointer = (
+        Checkpointer(args.checkpoint, args.checkpoint_every)
+        if args.checkpoint
+        else None
+    )
 
     previous = TELEMETRY.enabled
     if args.telemetry:
         TELEMETRY.enabled = True
     baseline = TELEMETRY.snapshot() if args.telemetry else None
     try:
-        session = StreamSession(
-            clock,
-            {
-                name: make_stream_attack(name, **attack_kwargs.get(name, {}))
-                for name in attacks
-            },
+        if args.resume and has_checkpoint(args.checkpoint):
+            session_state, guard_state = load_checkpoint(args.checkpoint)
+            session = StreamSession.from_state(session_state)
+            guard = FeedGuard(session, guard_policy)
+            guard.load_state(guard_state)
+            print(f"stream: resuming from sample {guard.position} "
+                  f"({args.checkpoint})")
+        else:
+            session = StreamSession(
+                source.clock,
+                {
+                    name: make_stream_attack(
+                        name, **attack_kwargs.get(name, {})
+                    )
+                    for name in attacks
+                },
+            )
+            guard = FeedGuard(session, guard_policy)
+        # On resume the feed replays from the start; the guard's cursor
+        # rejects the consumed prefix, so the attacks see only the
+        # unseen suffix — bitwise-identical to an uninterrupted run.
+        drive_stream(
+            source,
+            guard,
+            args.chunk,
+            fault_plan=fault_plan,
+            checkpointer=checkpointer,
+            kill_after=kill_after,
         )
-        for chunk in iter_chunks(values, args.chunk):
-            session.push(chunk)
         niom_attack = session.attacks.get("niom")
-        report = session.finalize()
+        report = session.finalize(guard=guard)
         snapshot = (
             TELEMETRY.snapshot().minus(baseline) if baseline is not None else None
         )
@@ -595,15 +663,36 @@ def cmd_stream(args) -> int:
           f"in chunks of {args.chunk}")
     for name in attacks:
         stat = report.stats[name]
+        if name not in report.results:
+            continue
         summary = ", ".join(
             f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
             for k, v in report.results[name].items()
             if not isinstance(v, list)
         )
         print(f"  {name:6s} {stat.samples_per_sec:12,.0f} samples/s  {summary}")
+    for failure in report.failures:
+        print(f"  FAILED attack {failure.name} in {failure.stage} at "
+              f"sample {failure.at_sample}: {failure.error}")
+    if report.guard:
+        g = report.guard
+        degraded = (
+            g["quarantined_values"] or g["gap_samples"]
+            or g["rejected_chunks"] or g["trimmed_samples"]
+        )
+        if degraded or report.feed_dead:
+            print(f"  guard: {g['quarantined_values']} values quarantined, "
+                  f"{g['gap_samples']} gap samples ({g['resyncs']} resyncs, "
+                  f"{g['filled_samples']} filled), "
+                  f"{g['rejected_chunks']} chunks rejected"
+                  + (", FEED DEAD" if report.feed_dead else ""))
     doc = report.as_dict()
     doc["chunk_samples"] = args.chunk
-    if occupancy is not None and niom_attack is not None:
+    if (
+        occupancy is not None
+        and niom_attack is not None
+        and "niom" in report.results
+    ):
         from .attacks.niom import score_occupancy_attack
 
         score = score_occupancy_attack(niom_attack.result.occupancy, occupancy)
@@ -617,10 +706,20 @@ def cmd_stream(args) -> int:
     if args.json:
         _write_json(args.json, doc)
         print(f"stream metrics JSON written to {args.json}")
-    return 0
+    return 0 if report.ok else 1
 
 
-def _stream_fleet(args, attacks, attack_kwargs) -> int:
+def _guard_policy(args):
+    from .stream import GuardPolicy
+
+    return GuardPolicy(
+        value_policy=args.value_policy,
+        gap_policy=args.gap_policy,
+        max_gap_samples=args.max_gap or None,
+    )
+
+
+def _stream_fleet(args, attacks, attack_kwargs, guard_policy) -> int:
     from .fleet import FleetRunner, FleetSpec
 
     mix = tuple(name.strip() for name in args.mix.split(",") if name.strip())
@@ -628,13 +727,17 @@ def _stream_fleet(args, attacks, attack_kwargs) -> int:
         n_homes=args.homes, days=args.days, seed=args.seed, mix=mix
     )
     runner = FleetRunner(
-        workers=args.workers, telemetry=args.telemetry is not None
+        workers=args.workers,
+        max_retries=args.max_retries,
+        job_timeout=args.job_timeout,
+        telemetry=args.telemetry is not None,
     )
     result = runner.run_streaming(
         spec,
         attacks=attacks,
         chunk_samples=args.chunk,
         attack_kwargs=attack_kwargs,
+        guard_policy=guard_policy,
     )
     print(f"stream fleet: {result.n_homes} home(s) x {args.days} day(s) "
           f"on {result.workers_used} worker(s) in {result.elapsed_s:.2f}s")
@@ -647,17 +750,21 @@ def _stream_fleet(args, attacks, attack_kwargs) -> int:
             default=0.0,
         )
         parts.append(f"peak {best:,.0f} samples/s")
+        if home.feed_dead:
+            parts.append("FEED DEAD")
+        for failure in home.attack_failures:
+            parts.append(f"attack {failure.name} failed in {failure.stage}")
         print(f"  home {home.index} ({home.preset}): {', '.join(parts)}")
     for failure in result.failures:
-        print(f"  FAILED home {failure.index} ({failure.preset}): "
-              f"{failure.error}")
+        print(f"  FAILED home {failure.index} ({failure.preset}) after "
+              f"{failure.attempts} attempt(s): {failure.error}")
     if args.json:
         _write_json(args.json, result.as_dict())
         print(f"stream fleet JSON written to {args.json}")
     if args.telemetry and result.telemetry is not None:
         _write_json(args.telemetry, result.telemetry.as_dict())
         print(f"telemetry JSON written to {args.telemetry}")
-    return 1 if result.failures else 0
+    return 0 if result.ok else 1
 
 
 def cmd_info(args) -> int:

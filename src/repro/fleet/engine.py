@@ -223,17 +223,30 @@ def run_stream_job(
     chunk_samples: int = 60,
     attacks: tuple[str, ...] = ("edges", "niom"),
     attack_kwargs: dict | None = None,
+    guard_policy=None,
 ) -> "HomeStreamResult":
-    """Simulate one home and score it through a streamed session.
+    """Simulate one home and score it through a guarded streamed session.
 
     Uses the *same* ``sim_seed`` stream as :func:`run_home_job`, so a
     streamed fleet sees byte-identical metered traces to a batch fleet of
     the same spec — the determinism tests compare ``trace_digest`` values
-    across the two paths.  The import is local to keep ``repro.fleet``
+    across the two paths.  The chunk feed runs through a
+    :class:`~repro.stream.guard.FeedGuard` (``guard_policy`` or default —
+    off-path on the clean replay, so digests still match), and any plan
+    in ``REPRO_STREAM_FAULTS`` degrades the feed exactly as it would a
+    single-home CLI run.  The imports are local to keep ``repro.fleet``
     importable without the streaming subsystem loaded.
     """
     from ..attacks.niom import score_occupancy_attack
-    from ..stream import StreamClock, StreamSession, iter_chunks, make_stream_attack
+    from ..stream import (
+        FeedGuard,
+        StreamClock,
+        StreamSession,
+        TraceReplaySource,
+        active_stream_plan,
+        drive_stream,
+        make_stream_attack,
+    )
 
     maybe_inject(job.index, job.attempt)
     attack_kwargs = attack_kwargs or {}
@@ -251,12 +264,17 @@ def run_stream_job(
                 for name in attacks
             },
         )
-        for chunk in iter_chunks(metered.values, chunk_samples):
-            session.push(chunk)
+        guard = FeedGuard(session, guard_policy)
+        drive_stream(
+            TraceReplaySource(metered),
+            guard,
+            chunk_samples,
+            fault_plan=active_stream_plan(),
+        )
         niom_attack = session.attacks.get("niom")
-        report = session.finalize()
+        report = session.finalize(guard=guard)
         niom_score = None
-        if niom_attack is not None:
+        if niom_attack is not None and "niom" in report.results:
             niom_score = score_occupancy_attack(
                 niom_attack.result.occupancy, sim.occupancy
             )
@@ -277,12 +295,21 @@ def run_stream_job(
         throughput={name: st.as_dict() for name, st in report.stats.items()},
         niom_score=niom_score,
         telemetry=snapshot,
+        attack_failures=report.failures,
+        guard=report.guard,
+        feed_dead=report.feed_dead,
     )
 
 
 @dataclass(frozen=True)
 class HomeStreamResult:
-    """One home's streamed-evaluation outcome."""
+    """One home's streamed-evaluation outcome.
+
+    ``attack_failures`` / ``guard`` / ``feed_dead`` carry the session's
+    degradation record: a home can *complete* while individual attacks
+    were quarantined or the feed was scrubbed — :attr:`ok` says whether
+    the run was clean end to end.
+    """
 
     index: int
     preset: str
@@ -296,6 +323,13 @@ class HomeStreamResult:
     throughput: dict[str, dict]
     niom_score: dict[str, float] | None = None
     telemetry: TelemetrySnapshot | None = None
+    attack_failures: tuple = ()
+    guard: dict | None = None
+    feed_dead: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.attack_failures and not self.feed_dead
 
     def as_dict(self) -> dict:
         return {
@@ -306,9 +340,13 @@ class HomeStreamResult:
             "trace_digest": self.trace_digest,
             "total_samples": self.total_samples,
             "chunk_samples": self.chunk_samples,
+            "ok": self.ok,
             "results": dict(self.results),
             "throughput": dict(self.throughput),
             "niom_score": self.niom_score,
+            "attack_failures": [f.as_dict() for f in self.attack_failures],
+            "guard": dict(self.guard) if self.guard is not None else None,
+            "feed_dead": self.feed_dead,
         }
 
 
@@ -321,6 +359,7 @@ class StreamFleetResult:
     elapsed_s: float
     workers_used: int
     failures: tuple[HomeFailure, ...] = ()
+    pool_rebuilds: int = 0
     telemetry: TelemetrySnapshot | None = None
 
     @property
@@ -329,13 +368,16 @@ class StreamFleetResult:
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        """No permanently failed homes *and* every completed home clean."""
+        return not self.failures and all(home.ok for home in self.homes)
 
     def as_dict(self) -> dict:
         return {
             "n_homes": self.n_homes,
             "elapsed_s": self.elapsed_s,
             "workers_used": self.workers_used,
+            "ok": self.ok,
+            "pool_rebuilds": self.pool_rebuilds,
             "homes": [home.as_dict() for home in self.homes],
             "failures": [f.as_dict() for f in self.failures],
         }
@@ -420,6 +462,10 @@ class FleetRunner:
         Optional :class:`~repro.fleet.faults.FaultPlan` exported through
         the environment for the duration of the run (the test harness's
         hook; production sweeps leave it ``None``).
+    stream_faults:
+        Optional :class:`~repro.stream.faults.StreamFaultPlan` exported
+        through ``REPRO_STREAM_FAULTS`` the same way, degrading every
+        streamed job's chunk feed (:meth:`run_streaming` only).
     telemetry:
         Collect per-stage counters and timers (:mod:`repro.obs`): each
         job ships a snapshot back on its result, the supervisor adds its
@@ -449,6 +495,7 @@ class FleetRunner:
         fail_fast: bool = False,
         retry_backoff_s: float = 0.05,
         faults: FaultPlan | None = None,
+        stream_faults=None,
         telemetry: bool = False,
         profile_dir: str | Path | None = None,
     ) -> None:
@@ -468,6 +515,7 @@ class FleetRunner:
         self.fail_fast = bool(fail_fast)
         self.retry_backoff_s = float(retry_backoff_s)
         self.faults = faults
+        self.stream_faults = stream_faults
         self.telemetry = bool(telemetry)
         self.profile_dir = Path(profile_dir) if profile_dir is not None else None
 
@@ -536,17 +584,23 @@ class FleetRunner:
         attacks: tuple[str, ...] = ("edges", "niom"),
         chunk_samples: int = 60,
         attack_kwargs: dict | None = None,
+        guard_policy=None,
     ) -> StreamFleetResult:
-        """Score the fleet through streamed sessions instead of batch.
+        """Score the fleet through guarded streamed sessions.
 
-        Deliberately lighter supervision than :meth:`run`: per-home
-        try/except isolation and the shared telemetry/fault/profiling env
-        exports, but no retry ladder, crash-rebuild, or result cache —
-        online scoring is continuous, so a failed home is simply reported
-        and the feed moves on (re-running a *live* feed is not an option
-        the way re-running a batch job is).  Seeds come from the same
-        spawned streams as the batch path, so ``trace_digest`` values
-        match :meth:`run` home-for-home.
+        Streamed jobs now run under the *same* supervisor as batch jobs
+        — per-job submit, bounded retries with deterministic backoff,
+        per-job timeouts, crash recovery via pool rebuild — because a
+        replayed evaluation feed (unlike a live one) can be re-run, and
+        a fleet sweep losing a home to a transient worker death is pure
+        waste.  What stays different from :meth:`run` is the absence of
+        the result cache: streamed reports carry throughput numbers that
+        are not content-addressable.  Seeds come from the same spawned
+        streams as the batch path, so ``trace_digest`` values match
+        :meth:`run` home-for-home; ``guard_policy`` rides to every job's
+        :class:`~repro.stream.guard.FeedGuard`.  Each home's
+        ``stream.*`` telemetry (gap samples, quarantined values, attack
+        failures, checkpoint writes) merges into the fleet totals.
         """
         import functools
 
@@ -562,35 +616,26 @@ class FleetRunner:
         with self._telemetry_scope() as baseline:
             jobs = spec.jobs()
             results: dict[int, HomeStreamResult] = {}
-            failures: list[HomeFailure] = []
             work = functools.partial(
                 run_stream_job,
                 chunk_samples=chunk_samples,
                 attacks=tuple(attacks),
                 attack_kwargs=attack_kwargs,
+                guard_policy=guard_policy,
             )
+
+            def store(result: HomeStreamResult) -> None:
+                results[result.index] = result
+
+            failures: list[HomeFailure] = []
             workers_used = 1
-            with self._env_exported():
-                pool = None
-                if self.workers > 1 and len(jobs) > 1:
-                    pool = self._new_pool()
-                if pool is not None:
-                    workers_used = self.workers
-                    with pool:
-                        futures = {pool.submit(work, job): job for job in jobs}
-                        for fut, job in futures.items():
-                            try:
-                                results[job.index] = fut.result()
-                            except Exception as exc:  # noqa: BLE001
-                                failures.append(
-                                    self._stream_failure(job, exc)
-                                )
-                else:
-                    for job in jobs:
-                        try:
-                            results[job.index] = work(job)
-                        except Exception as exc:  # noqa: BLE001
-                            failures.append(self._stream_failure(job, exc))
+            rebuilds = 0
+            if jobs:
+                failures, workers_used, rebuilds = self._execute(
+                    jobs, store, work=work
+                )
+            for _ in failures:
+                TELEMETRY.count("fleet.stream_failure")
             ordered = [
                 results[job.index] for job in jobs if job.index in results
             ]
@@ -601,19 +646,8 @@ class FleetRunner:
             elapsed_s=time.perf_counter() - start,
             workers_used=workers_used,
             failures=tuple(sorted(failures, key=lambda f: f.index)),
+            pool_rebuilds=rebuilds,
             telemetry=telemetry,
-        )
-
-    @staticmethod
-    def _stream_failure(job: HomeJob, exc: Exception) -> HomeFailure:
-        TELEMETRY.count("fleet.stream_failure")
-        return HomeFailure(
-            index=job.index,
-            preset=job.preset,
-            kind="error",
-            error=repr(exc),
-            attempts=1,
-            elapsed_s=0.0,
         )
 
     # ------------------------------------------------------------------
@@ -631,6 +665,12 @@ class FleetRunner:
         wanted: dict[str, str] = {}
         if self.faults is not None:
             wanted[FAULTS_ENV] = self.faults.to_json()
+        if self.stream_faults is not None:
+            # local import: repro.fleet stays importable without the
+            # streaming subsystem loaded
+            from ..stream.faults import STREAM_FAULTS_ENV
+
+            wanted[STREAM_FAULTS_ENV] = self.stream_faults.to_json()
         if self.telemetry:
             wanted[TELEMETRY_ENV] = "1"
         if self.profile_dir is not None:
@@ -686,24 +726,30 @@ class FleetRunner:
         return merged
 
     def _execute(
-        self, jobs: list[HomeJob], on_result: Callable[[HomeResult], None]
+        self,
+        jobs: list[HomeJob],
+        on_result: Callable[[HomeResult], None],
+        work: Callable[[HomeJob], object] = run_home_job,
     ) -> tuple[list[HomeFailure], int, int]:
         """Run jobs under supervision; returns (failures, workers, rebuilds).
 
-        Degrades to the serial loop when a pool cannot be *started*
-        (restricted sandboxes, missing semaphores); pool failures
-        mid-run are handled by the supervisor itself.
+        ``work`` is the picklable per-job function — :func:`run_home_job`
+        for batch fleets, a :func:`run_stream_job` partial for streamed
+        ones; the supervisor's retry/timeout/rebuild machinery is
+        identical either way.  Degrades to the serial loop when a pool
+        cannot be *started* (restricted sandboxes, missing semaphores);
+        pool failures mid-run are handled by the supervisor itself.
         """
         with self._env_exported():
             if self.workers > 1 and len(jobs) > 1:
                 pool = self._new_pool()
                 if pool is not None:
                     failures, rebuilds = self._run_supervised(
-                        pool, [_JobState(job) for job in jobs], on_result
+                        pool, [_JobState(job) for job in jobs], on_result, work
                     )
                     return failures, self.workers, rebuilds
             failures = self._run_serial(
-                [_JobState(job) for job in jobs], on_result
+                [_JobState(job) for job in jobs], on_result, work
             )
             return failures, 1, 0
 
@@ -774,6 +820,7 @@ class FleetRunner:
         self,
         states: list[_JobState],
         on_result: Callable[[HomeResult], None],
+        work: Callable[[HomeJob], object] = run_home_job,
     ) -> list[HomeFailure]:
         """In-process supervised loop: retries only (no crash/hang guard)."""
         failures: list[HomeFailure] = []
@@ -781,7 +828,7 @@ class FleetRunner:
             state.first_start = time.monotonic()
             while True:
                 try:
-                    result = run_home_job(
+                    result = work(
                         replace(state.job, attempt=state.attempts)
                     )
                 except Exception as exc:  # noqa: BLE001 — isolate per home
@@ -808,6 +855,7 @@ class FleetRunner:
         pool: ProcessPoolExecutor,
         states: list[_JobState],
         on_result: Callable[[HomeResult], None],
+        work: Callable[[HomeJob], object] = run_home_job,
     ) -> tuple[list[HomeFailure], int]:
         """The supervisor loop: per-job submit, isolation, rebuild, retry.
 
@@ -826,7 +874,7 @@ class FleetRunner:
 
         def submit(state: _JobState) -> None:
             fut = pool.submit(
-                run_home_job, replace(state.job, attempt=state.attempts)
+                work, replace(state.job, attempt=state.attempts)
             )
             state.started = time.monotonic()
             if state.first_start is None:
@@ -893,7 +941,7 @@ class FleetRunner:
                     teardown(kill=False)
                     if not rebuild():
                         failures.extend(
-                            self._run_serial(isolation + queue, on_result)
+                            self._run_serial(isolation + queue, on_result, work)
                         )
                         return failures, rebuilds
                     continue
@@ -971,7 +1019,7 @@ class FleetRunner:
                     if not rebuild():
                         # can no longer start pools: finish serially
                         failures.extend(
-                            self._run_serial(isolation + queue, on_result)
+                            self._run_serial(isolation + queue, on_result, work)
                         )
                         return failures, rebuilds
                     continue
@@ -1016,7 +1064,9 @@ class FleetRunner:
                         queue[:0] = innocents
                         if not rebuild():
                             failures.extend(
-                                self._run_serial(isolation + queue, on_result)
+                                self._run_serial(
+                                    isolation + queue, on_result, work
+                                )
                             )
                             return failures, rebuilds
             return failures, rebuilds

@@ -13,9 +13,23 @@ into a push-based online evaluator with explicit seam contracts:
 * :mod:`~repro.stream.decode` — filtering / bounded-lag HMM and FHMM
   decoding on the sequential forward kernel;
 * :mod:`~repro.stream.session` — :class:`StreamSession` fan-out,
-  the :data:`STREAM_ATTACKS` registry, throughput reporting, resume.
+  the :data:`STREAM_ATTACKS` registry, throughput reporting, attack
+  quarantine, resume;
+* :mod:`~repro.stream.guard` — :class:`FeedGuard` admission control
+  for dirty feeds (value quarantine, gap policies, duplicate/late
+  rejection, max-gap watchdog);
+* :mod:`~repro.stream.checkpoint` — periodic versioned checkpoints so
+  a killed run resumes bitwise-identically;
+* :mod:`~repro.stream.faults` — deterministic feed-fault injection
+  (dropout / corrupt / duplicate / stall) for chaos testing.
 """
 
+from .checkpoint import (
+    STREAM_CHECKPOINT_VERSION,
+    Checkpointer,
+    has_checkpoint,
+    load_checkpoint,
+)
 from .decode import (
     StreamingFHMMDecoder,
     StreamingHMMDecoder,
@@ -23,9 +37,17 @@ from .decode import (
     two_state_power_hmm,
 )
 from .edges import StreamingEdgeDetector, StreamingHartPairer
+from .faults import (
+    STREAM_FAULTS_ENV,
+    StreamFaultPlan,
+    active_stream_plan,
+    inject_stream_faults,
+)
+from .guard import FeedDead, FeedGuard, GuardPolicy, GuardStats
 from .niom import StreamingThresholdNIOM
 from .session import (
     STREAM_ATTACKS,
+    AttackFailure,
     AttackStats,
     EdgeStreamAttack,
     FHMMStreamAttack,
@@ -33,6 +55,7 @@ from .session import (
     NIOMStreamAttack,
     StreamReport,
     StreamSession,
+    drive_stream,
     make_stream_attack,
     run_stream,
     stream_attack_names,
@@ -43,17 +66,27 @@ from .source import (
     TraceReplaySource,
     iter_chunks,
     simulated_meter_source,
+    tagged_chunks,
 )
 
 __all__ = [
     "STREAM_ATTACKS",
+    "STREAM_CHECKPOINT_VERSION",
+    "STREAM_FAULTS_ENV",
+    "AttackFailure",
     "AttackStats",
+    "Checkpointer",
     "EdgeStreamAttack",
     "FHMMStreamAttack",
+    "FeedDead",
+    "FeedGuard",
+    "GuardPolicy",
+    "GuardStats",
     "HMMStreamAttack",
     "NIOMStreamAttack",
     "SimulatedMeterSource",
     "StreamClock",
+    "StreamFaultPlan",
     "StreamReport",
     "StreamSession",
     "StreamingEdgeDetector",
@@ -62,11 +95,17 @@ __all__ = [
     "StreamingHartPairer",
     "StreamingThresholdNIOM",
     "TraceReplaySource",
+    "active_stream_plan",
+    "drive_stream",
+    "has_checkpoint",
+    "inject_stream_faults",
     "iter_chunks",
+    "load_checkpoint",
     "make_stream_attack",
     "run_stream",
     "simulated_meter_source",
     "stream_attack_names",
+    "tagged_chunks",
     "two_state_power_hmm",
     "signature_fhmm",
 ]

@@ -135,6 +135,28 @@ class StreamingHMMDecoder:
         self._emit = self._total
         return labels
 
+    def resync(self, gap_samples: int = 0) -> np.ndarray:
+        """Treat a feed discontinuity as a segment boundary.
+
+        The held-back samples are labeled with a backward pass whose
+        ``beta = 1`` boundary sits at the last pre-gap sample — exactly
+        the end-of-stream condition, so the pre-gap segment is smoothed
+        as if it were a complete trace rather than silently decoded
+        across the gap.  The forward recursion then restarts from the
+        model's ``startprob_`` at the next sample.  Returns the labels
+        the flush released.
+        """
+        del gap_samples  # labels are indexed by consumed sample, not clock
+        pending = self._total - self._emit
+        released = np.empty(0, dtype=int)
+        if pending > 0:
+            released = self._smooth_block(pending)
+            self._labels.append(released)
+            self._advance(pending)
+            self._emit = self._total
+        self._alpha_prev = None
+        return released
+
     @property
     def labels(self) -> np.ndarray:
         """Every label emitted so far, in sample order."""
@@ -290,6 +312,10 @@ class StreamingFHMMDecoder:
 
     def finalize(self) -> np.ndarray:
         return self.fhmm._joint_states[self._decoder.finalize()]
+
+    def resync(self, gap_samples: int = 0) -> np.ndarray:
+        """Segment-boundary flush at a discontinuity (see the HMM decoder)."""
+        return self.fhmm._joint_states[self._decoder.resync(gap_samples)]
 
     @property
     def states(self) -> np.ndarray:

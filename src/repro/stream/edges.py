@@ -87,7 +87,12 @@ class StreamingEdgeDetector:
         # scan the newly decidable candidate positions: a global index i is
         # a candidate when |v[i] - v[i-1]| crosses the threshold, decidable
         # once v[i] exists.  Previous pushes scanned up to old_total - 1.
-        lo = max(1, old_total)
+        # The base + 1 floor also requires the predecessor v[i-1] to be
+        # held in ``work`` — equivalent to the old max(1, old_total) on
+        # every contiguous path, and the reason the first post-resync
+        # sample (whose predecessor died with the discontinuity) can
+        # never become a candidate.
+        lo = max(base + 1, old_total)
         j0 = lo - base
         if j0 < len(work):
             diffs = np.abs(work[j0:] - work[j0 - 1 : len(work) - 1])
@@ -107,7 +112,13 @@ class StreamingEdgeDetector:
         self._pending = still_pending
         self._edges.extend(emitted)
 
-        keep = min(new_total, 2 * self.settle_samples)
+        # clamp to what ``work`` actually holds: after a resync the wall
+        # clock (new_total) runs ahead of the buffered history, and a
+        # min(new_total, ...) bound would slice with a negative start —
+        # silently shedding carry the pre-windows still need.  On every
+        # contiguous path len(work) >= min(new_total, 2 * settle), so the
+        # two bounds agree bitwise there.
+        keep = min(len(work), 2 * self.settle_samples)
         self._carry = work[len(work) - keep :].copy() if keep else np.empty(0)
         self._total = new_total
         TELEMETRY.count("stream.edges.candidates", len(emitted))
@@ -134,6 +145,24 @@ class StreamingEdgeDetector:
         self._edges.extend(tail)
         return tail
 
+    def resync(self, gap_samples: int = 0) -> None:
+        """Reset seam state at a feed discontinuity.
+
+        Pending candidates (whose settle windows would span the gap) and
+        the carried history are discarded — their medians would mix pre-
+        and post-gap power levels, producing edges no batch pass over
+        either segment would emit.  ``gap_samples`` advances the sample
+        counter so post-gap edge indices and times stay on the wall
+        clock.  Already-finalized edges are kept.
+        """
+        if self._finalized:
+            raise RuntimeError("stream already finalized")
+        if gap_samples < 0:
+            raise ValueError("gap_samples must be >= 0")
+        self._pending = []
+        self._carry = np.empty(0)
+        self._total += int(gap_samples)
+
     @property
     def edges(self) -> list[Edge]:
         """Every edge finalized so far, in index order."""
@@ -147,8 +176,16 @@ class StreamingEdgeDetector:
     ) -> Edge | None:
         s = self.settle_samples
         local = gi - base
-        lo = max(0, gi - s) - base
+        # clamp the pre-window at ``base`` — on the contiguous path the
+        # carry always holds >= settle_samples of history (no-op there);
+        # after a resync the history before the discontinuity is gone, so
+        # the pre-median is honestly computed over what survives.
+        lo = max(0, gi - s, base) - base
         hi = min(total, gi + s) - base
+        if lo >= local or local >= hi:
+            # no surviving pre- or post-window (only reachable if seam
+            # bookkeeping sheds history): better no edge than a NaN edge
+            return None
         pre = float(np.median(work[lo:local]))
         post = float(np.median(work[local:hi]))
         delta = post - pre
@@ -238,6 +275,17 @@ class StreamingHartPairer:
     def finalize(self) -> list[tuple[Edge, Edge]]:
         """All pairs ordered by rise time (the batch output order)."""
         return sorted(self._pairs, key=lambda p: p[0].time_s)
+
+    def resync(self, gap_samples: int = 0) -> None:
+        """Drop the open rising edges at a feed discontinuity.
+
+        An appliance that switched on before the gap may have switched
+        off *inside* it; pairing its rise with a post-gap fall would
+        fabricate a run-length no batch pass over a continuous trace
+        could produce.  Completed pairs are kept.
+        """
+        del gap_samples  # pairing state carries no sample clock
+        self._open_rises = []
 
     @property
     def open_rises(self) -> list[Edge]:

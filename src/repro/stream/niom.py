@@ -151,6 +151,22 @@ class StreamingThresholdNIOM:
             )
         return occupied
 
+    def resync(self, gap_samples: int = 0) -> None:
+        """Reset seam state at a feed discontinuity.
+
+        The partial feature window is discarded — completing it with
+        post-gap samples would compute window statistics over a block
+        that never existed on the wall clock.  ``gap_samples`` advances
+        the sample counter so :meth:`finalize`'s duration floor stays
+        wall-clock-true; completed feature rows are kept (the window
+        grid therefore resumes at the next sample, shifted by whatever
+        the gap consumed — documented, not hidden).
+        """
+        if gap_samples < 0:
+            raise ValueError("gap_samples must be >= 0")
+        self._buffer = np.empty(0)
+        self._total += int(gap_samples)
+
     @property
     def n_windows(self) -> int:
         return len(self._rows)

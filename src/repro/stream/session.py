@@ -16,6 +16,7 @@ session only routes samples and observes time.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
@@ -30,6 +31,7 @@ from .decode import (
     two_state_power_hmm,
 )
 from .edges import StreamingEdgeDetector, StreamingHartPairer
+from .guard import FeedDead, FeedGuard, GuardPolicy
 from .niom import StreamingThresholdNIOM
 from .source import StreamClock
 
@@ -72,6 +74,10 @@ class EdgeStreamAttack:
             "n_open_rises": len(self.pairer.open_rises),
         }
 
+    def resync(self, gap_samples: int = 0) -> None:
+        self.detector.resync(gap_samples)
+        self.pairer.resync(gap_samples)
+
     def state_dict(self) -> dict:
         return {
             "detector": self.detector.state_dict(),
@@ -108,6 +114,9 @@ class NIOMStreamAttack:
             "occupied_fraction": float(occ.mean()),
         }
 
+    def resync(self, gap_samples: int = 0) -> None:
+        self.niom.resync(gap_samples)
+
     def state_dict(self) -> dict:
         return self.niom.state_dict()
 
@@ -138,6 +147,9 @@ class HMMStreamAttack:
             else 0.0,
             "log_likelihood": self.decoder.log_likelihood(),
         }
+
+    def resync(self, gap_samples: int = 0) -> None:
+        self.decoder.resync(gap_samples)
 
     def state_dict(self) -> dict:
         return self.decoder.state_dict()
@@ -171,6 +183,9 @@ class FHMMStreamAttack:
             "log_likelihood": self.decoder.log_likelihood(),
         }
 
+    def resync(self, gap_samples: int = 0) -> None:
+        self.decoder.resync(gap_samples)
+
     def state_dict(self) -> dict:
         return self.decoder.state_dict()
 
@@ -189,13 +204,21 @@ STREAM_ATTACKS: dict[str, Callable[..., object]] = {
 
 
 def make_stream_attack(name: str, **kwargs):
-    """Construct a registered streamed attack by name."""
+    """Construct a registered streamed attack by name.
+
+    The registry name is stamped on the adapter (``registry_name``) so
+    :meth:`StreamSession.state_dict` can record it directly instead of
+    probing the registry with ``isinstance`` — which misidentifies
+    subclasses and breaks outright for non-class factories.
+    """
     try:
         factory = STREAM_ATTACKS[name]
     except KeyError:
         known = ", ".join(sorted(STREAM_ATTACKS))
         raise KeyError(f"unknown stream attack {name!r} (known: {known})")
-    return factory(**kwargs)
+    attack = factory(**kwargs)
+    attack.registry_name = name
+    return attack
 
 
 def stream_attack_names() -> list[str]:
@@ -227,29 +250,79 @@ class AttackStats:
 
 
 @dataclass(frozen=True)
+class AttackFailure:
+    """One attack adapter quarantined mid-session.
+
+    ``stage`` names the protocol call that raised (``push`` /
+    ``resync`` / ``finalize``), ``at_sample`` the session sample count
+    when it did.  The exception itself is flattened to a string so the
+    record stays picklable across the fleet boundary.
+    """
+
+    name: str
+    stage: str
+    error: str
+    at_sample: int
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "stage": self.stage,
+            "error": self.error,
+            "at_sample": self.at_sample,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AttackFailure":
+        return cls(d["name"], d["stage"], d["error"], int(d["at_sample"]))
+
+
+@dataclass(frozen=True)
 class StreamReport:
-    """Outcome of a streamed evaluation: results plus throughput."""
+    """Outcome of a streamed evaluation: results, health, throughput."""
 
     total_samples: int
     chunk_samples: int
     duration_s: float
     results: dict[str, dict]
     stats: dict[str, AttackStats]
+    failures: tuple[AttackFailure, ...] = ()
+    guard: dict | None = None
+
+    @property
+    def feed_dead(self) -> bool:
+        """True when the guard's max-gap watchdog gave up on the feed."""
+        return bool((self.guard or {}).get("feed_dead", False))
+
+    @property
+    def ok(self) -> bool:
+        """Healthy run: every attack finished and the feed stayed alive."""
+        return not self.failures and not self.feed_dead
 
     def as_dict(self) -> dict:
         return {
             "total_samples": self.total_samples,
             "chunk_samples": self.chunk_samples,
             "duration_s": self.duration_s,
+            "ok": self.ok,
             "results": dict(self.results),
             "throughput": {
                 name: st.as_dict() for name, st in self.stats.items()
             },
+            "failures": [f.as_dict() for f in self.failures],
+            "guard": dict(self.guard) if self.guard is not None else None,
         }
 
 
 class StreamSession:
-    """Push one chunk feed through a set of named online attacks."""
+    """Push one chunk feed through a set of named online attacks.
+
+    A misbehaving adapter never takes the session down: any exception
+    from an attack's ``push`` / ``resync`` / ``finalize`` quarantines
+    that attack (recorded as an :class:`AttackFailure` on the report's
+    ``failures``) while the remaining attacks keep consuming — the same
+    per-job isolation contract the fleet supervisor gives home jobs.
+    """
 
     def __init__(self, clock: StreamClock, attacks: dict[str, object]) -> None:
         if not attacks:
@@ -259,20 +332,36 @@ class StreamSession:
         self._stats = {name: AttackStats() for name in self.attacks}
         self._total = 0
         self._finalized = False
+        self._quarantined: dict[str, AttackFailure] = {}
         for attack in self.attacks.values():
             attack.open(clock)
 
+    def _quarantine(self, name: str, stage: str, exc: Exception) -> None:
+        self._quarantined[name] = AttackFailure(
+            name=name,
+            stage=stage,
+            error=f"{type(exc).__name__}: {exc}",
+            at_sample=self._total,
+        )
+        TELEMETRY.count("stream.attack_failures")
+
     def push(self, values: np.ndarray) -> None:
-        """Feed one chunk to every attack, timing each independently."""
+        """Feed one chunk to every healthy attack, timing each one."""
         if self._finalized:
             raise RuntimeError("session already finalized")
         values = np.asarray(values, dtype=float)
         n = len(values)
         with TELEMETRY.timer("stage.stream.push"):
             for name, attack in self.attacks.items():
+                if name in self._quarantined:
+                    continue
                 start = time.perf_counter()
-                with TELEMETRY.timer(f"stage.stream.{name}"):
-                    attack.push(values)
+                try:
+                    with TELEMETRY.timer(f"stage.stream.{name}"):
+                        attack.push(values)
+                except Exception as exc:
+                    self._quarantine(name, "push", exc)
+                    continue
                 stat = self._stats[name]
                 stat.seconds += time.perf_counter() - start
                 stat.samples += n
@@ -280,15 +369,43 @@ class StreamSession:
         self._total += n
         TELEMETRY.count("stream.samples", n)
 
-    def finalize(self) -> StreamReport:
-        """Close every attack and assemble the report."""
+    def resync(self, gap_samples: int = 0) -> None:
+        """Reset every healthy attack's seam state at a discontinuity.
+
+        ``gap_samples`` advances the session's sample count so the
+        report duration stays wall-clock-true over the gap.
+        """
+        if self._finalized:
+            raise RuntimeError("session already finalized")
+        if gap_samples < 0:
+            raise ValueError("gap_samples must be >= 0")
+        for name, attack in self.attacks.items():
+            if name in self._quarantined:
+                continue
+            try:
+                attack.resync(gap_samples)
+            except Exception as exc:
+                self._quarantine(name, "resync", exc)
+        self._total += int(gap_samples)
+
+    def finalize(self, guard: "FeedGuard | None" = None) -> StreamReport:
+        """Close every healthy attack and assemble the report.
+
+        ``guard`` optionally attaches the feed guard's stats to the
+        report (and its feed-dead verdict to the health contract).
+        """
         if self._finalized:
             raise RuntimeError("session already finalized")
         self._finalized = True
         results = {}
         for name, attack in self.attacks.items():
-            with TELEMETRY.timer(f"stage.stream.{name}"):
-                results[name] = attack.finalize()
+            if name in self._quarantined:
+                continue
+            try:
+                with TELEMETRY.timer(f"stage.stream.{name}"):
+                    results[name] = attack.finalize()
+            except Exception as exc:
+                self._quarantine(name, "finalize", exc)
         duration = self._total * self.clock.period_s
         return StreamReport(
             total_samples=self._total,
@@ -296,11 +413,18 @@ class StreamSession:
             duration_s=duration,
             results=results,
             stats=dict(self._stats),
+            failures=tuple(self._quarantined.values()),
+            guard=guard.stats.as_dict() if guard is not None else None,
         )
 
     @property
     def total_samples(self) -> int:
         return self._total
+
+    @property
+    def failures(self) -> tuple[AttackFailure, ...]:
+        """Attacks quarantined so far, in quarantine order."""
+        return tuple(self._quarantined.values())
 
     # ------------------------------------------------------------------
     # Resume
@@ -314,20 +438,34 @@ class StreamSession:
         """
         attacks = {}
         for name, attack in self.attacks.items():
-            reg_name = next(
-                rn
-                for rn, factory in STREAM_ATTACKS.items()
-                if isinstance(attack, factory)
-            )
+            reg_name = getattr(attack, "registry_name", None)
+            if reg_name is None:
+                # Adapter built directly, not via make_stream_attack:
+                # exact-type match only (isinstance would claim
+                # subclasses for the wrong registry entry).
+                for rn, factory in STREAM_ATTACKS.items():
+                    if type(attack) is factory:
+                        reg_name = rn
+                        break
+            if reg_name is None:
+                raise KeyError(
+                    f"attack {name!r} ({type(attack).__name__}) is not a "
+                    "registered stream attack; cannot serialize"
+                )
             attacks[name] = {
                 "registry": reg_name,
                 "params": dict(attack.params),
-                "state": attack.state_dict(),
+                # A quarantined attack's internals may be mid-raise
+                # garbage; its state is not worth carrying.
+                "state": None
+                if name in self._quarantined
+                else attack.state_dict(),
             }
         return {
             "clock": self.clock.as_dict(),
             "total": self._total,
             "attacks": attacks,
+            "failures": [f.as_dict() for f in self._quarantined.values()],
             "stats": {
                 name: (st.samples, st.pushes, st.seconds)
                 for name, st in self._stats.items()
@@ -343,11 +481,60 @@ class StreamSession:
         }
         session = cls(clock, attacks)
         for name, spec in state["attacks"].items():
-            session.attacks[name].load_state(spec["state"])
+            if spec["state"] is not None:
+                session.attacks[name].load_state(spec["state"])
         session._total = int(state["total"])
+        for record in state.get("failures", []):
+            failure = AttackFailure.from_dict(record)
+            session._quarantined[failure.name] = failure
         for name, (samples, pushes, seconds) in state["stats"].items():
             session._stats[name] = AttackStats(samples, pushes, seconds)
         return session
+
+
+def drive_stream(
+    source,
+    guard: FeedGuard,
+    chunk_samples: int = 60,
+    fault_plan=None,
+    checkpointer=None,
+    kill_after: int | None = None,
+) -> bool:
+    """Replay ``source`` through ``guard``; return True if the feed died.
+
+    Chunks are tagged with their absolute sample index before entering
+    the guard, so an optional ``fault_plan``
+    (:class:`~repro.stream.faults.StreamFaultPlan`) can drop, corrupt,
+    duplicate, or stall them and the guard sees exactly what a degraded
+    transport would deliver.  ``checkpointer`` is offered the session
+    after every admitted chunk.  ``kill_after`` hard-kills the process
+    (``os._exit(137)``) once the guard's position reaches that sample —
+    the deterministic SIGKILL stand-in the kill-and-resume tests drive.
+    """
+    feed = _tagged(source, chunk_samples)
+    if fault_plan is not None:
+        from .faults import inject_stream_faults
+
+        feed = inject_stream_faults(feed, fault_plan)
+    try:
+        for at, chunk in feed:
+            guard.push(chunk, at=at)
+            if checkpointer is not None:
+                checkpointer.maybe_write(guard.sink, guard)
+            if kill_after is not None and guard.position >= kill_after:
+                import os
+
+                os._exit(137)
+    except FeedDead:
+        return True
+    return False
+
+
+def _tagged(source, chunk_samples: int):
+    at = 0
+    for chunk in source.chunks(chunk_samples):
+        yield at, chunk
+        at += len(chunk)
 
 
 def run_stream(
@@ -355,11 +542,17 @@ def run_stream(
     attacks: Iterable[str] = ("edges", "niom"),
     chunk_samples: int = 60,
     attack_kwargs: dict[str, dict] | None = None,
+    guard_policy: GuardPolicy | None = None,
+    fault_plan=None,
 ) -> StreamReport:
-    """Replay ``source`` through a fresh session of the named attacks.
+    """Replay ``source`` through a fresh guarded session.
 
     ``attack_kwargs`` optionally maps attack name to constructor kwargs
-    (e.g. ``{"hmm": {"lag": 120}}``).
+    (e.g. ``{"hmm": {"lag": 120}}``).  Every run goes through a
+    :class:`~repro.stream.guard.FeedGuard` (default policy unless
+    ``guard_policy`` is given) — on a clean feed the guard is off-path
+    by construction, and on a degraded one (``fault_plan``) the report's
+    ``guard`` / ``failures`` fields say what happened.
     """
     attack_kwargs = attack_kwargs or {}
     built = {
@@ -367,13 +560,7 @@ def run_stream(
         for name in attacks
     }
     session = StreamSession(source.clock, built)
-    for chunk in source.chunks(chunk_samples):
-        session.push(chunk)
-    report = session.finalize()
-    return StreamReport(
-        total_samples=report.total_samples,
-        chunk_samples=chunk_samples,
-        duration_s=report.duration_s,
-        results=report.results,
-        stats=report.stats,
-    )
+    guard = FeedGuard(session, guard_policy)
+    drive_stream(source, guard, chunk_samples, fault_plan=fault_plan)
+    report = session.finalize(guard=guard)
+    return dataclasses.replace(report, chunk_samples=chunk_samples)

@@ -68,6 +68,19 @@ def iter_chunks(values: np.ndarray, chunk_samples: int) -> Iterator[np.ndarray]:
         yield values[i : i + chunk_samples]
 
 
+def tagged_chunks(
+    values: np.ndarray, chunk_samples: int
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Like :func:`iter_chunks`, but each chunk carries the absolute
+    sample index of its first sample — the coordinate a
+    :class:`~repro.stream.guard.FeedGuard` judges ordering by, and the
+    handle the fault injector reorders and delays."""
+    if chunk_samples < 1:
+        raise ValueError("chunk_samples must be >= 1")
+    for i in range(0, len(values), chunk_samples):
+        yield i, values[i : i + chunk_samples]
+
+
 @dataclass(frozen=True)
 class TraceReplaySource:
     """Replay a finished trace as a sequence of sample chunks."""
