@@ -165,6 +165,52 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="MCC noise tolerance for --check-monotone")
 
     p = sub.add_parser(
+        "netpriv",
+        help="traffic-defense arms race over simulated LANs; exports the frontier",
+        description="Fan a (defense x knob setting x seed) grid of LAN "
+        "simulations through the netpriv traffic shapers, attack each "
+        "cell with both a naive attacker (trained on raw traffic) and "
+        "an adaptive one (retrained on shaped traffic), and reduce the "
+        "grid to a privacy-utility frontier: occupancy MCC and device-"
+        "fingerprint accuracy per attacker generation vs. cover MB/day "
+        "and added delay.",
+    )
+    p.add_argument("--defenses", default="cover,constant-rate,merge,jitter",
+                   help="comma-separated netpriv defense names with knob "
+                   "mappings (see 'info')")
+    p.add_argument("--settings", default="0,0.5,1",
+                   help="comma-separated knob settings in [0, 1]")
+    p.add_argument("--seeds", default="0", help="comma-separated grid seeds")
+    p.add_argument("--lans", type=int, default=1,
+                   help="independent LAN simulations per cell")
+    p.add_argument("--days", type=int, default=2,
+                   help="simulated days per LAN")
+    p.add_argument("--lan", default="small",
+                   help="LAN composition name (small: 9 devices for smokes; "
+                   "default: the 24-device home)")
+    p.add_argument("--shard", default="1/1", metavar="I/N",
+                   help="run only cells I-1::N of the canonical cell order")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (<=1 runs serially)")
+    p.add_argument("--max-retries", type=int, default=2)
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="per-LAN wall-clock timeout (needs --workers > 1)")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="abort at the first permanent job failure")
+    p.add_argument("--csv", default=None,
+                   help="export the frontier points as CSV")
+    p.add_argument("--json", default=None,
+                   help="export the frontier points as JSON")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="collect netpriv.flows / stage.shape / "
+                   "stage.fingerprint telemetry and write the snapshot JSON")
+    p.add_argument("--check-monotone", action="store_true",
+                   help="fail (exit 1) if any (defense, seed) series has the "
+                   "ADAPTIVE attacker's occupancy MCC rising with the dial")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="MCC noise tolerance for --check-monotone")
+
+    p = sub.add_parser(
         "stream",
         help="online attack evaluation over a chunked meter feed",
         description="Replay a trace (or a simulated home's metered feed) "
@@ -541,6 +587,96 @@ def cmd_sweep(args) -> int:
     return 1 if not result.ok else 0
 
 
+def cmd_netpriv(args) -> int:
+    from .fleet import (
+        NetprivGrid,
+        NetprivSweepRunner,
+        SweepError,
+        parse_shard,
+        shard_cells,
+    )
+
+    try:
+        grid = NetprivGrid(
+            defenses=tuple(
+                d.strip() for d in args.defenses.split(",") if d.strip()
+            ),
+            settings=tuple(
+                float(s) for s in args.settings.split(",") if s.strip()
+            ),
+            seeds=tuple(int(s) for s in args.seeds.split(",") if s.strip()),
+            n_lans=args.lans,
+            days=args.days,
+            lan=args.lan,
+        )
+        shard = parse_shard(args.shard)
+    except (SweepError, ValueError) as exc:
+        print(f"netpriv: {exc}", file=sys.stderr)
+        return 2
+
+    runner = NetprivSweepRunner(
+        workers=args.workers,
+        max_retries=args.max_retries,
+        job_timeout=args.job_timeout,
+        fail_fast=args.fail_fast,
+        telemetry=args.telemetry is not None,
+    )
+
+    def on_result(job_result) -> None:
+        outcome = job_result.outcome
+        print(f"  {job_result.preset:<30s} "
+              f"naive mcc {outcome.naive.occupancy_mcc:+.3f}  "
+              f"adaptive mcc {outcome.adaptive.occupancy_mcc:+.3f}  "
+              f"cover {outcome.cover_mb_per_day:.1f} MB/day")
+
+    n_shard_cells = len(shard_cells(grid.cells(), shard))
+    print(f"netpriv: {len(grid.defenses)} defense(s) x "
+          f"{len(grid.settings)} setting(s) x {len(grid.seeds)} seed(s) "
+          f"over {grid.n_lans} LAN(s) x {grid.days} day(s) [{grid.lan}]; "
+          f"shard {shard[0]}/{shard[1]} runs {n_shard_cells}/{grid.n_cells} cells")
+    result = runner.run(grid, shard, on_result=on_result)
+    frontier = result.frontier()
+    print(frontier.format_table())
+    print(f"ran {len(result.results)} LAN job(s) in {result.elapsed_s:.2f}s "
+          f"on {result.workers_used} worker(s)")
+    if not result.ok:
+        print(f"WARNING: {len(result.failures)} LAN job(s) failed "
+              "(frontier covers survivors only)")
+
+    if args.csv:
+        path = frontier.to_csv(args.csv)
+        print(f"frontier CSV written to {path}")
+    if args.json:
+        frontier.to_json(args.json)
+        print(f"frontier JSON written to {args.json}")
+    if args.telemetry and result.telemetry is not None:
+        _write_json(args.telemetry, result.telemetry.as_dict())
+        flows = result.telemetry.counters.get("netpriv.flows", 0.0)
+        stages = {
+            name.split(".", 1)[1]: stat.total_s
+            for name, stat in result.telemetry.timers.items()
+            if name.startswith("stage.") and name != "stage.netpriv_job"
+        }
+        line = f"telemetry: {flows:.0f} flows"
+        if stages:
+            line += ", " + ", ".join(
+                f"{name} {seconds:.2f}s" for name, seconds in stages.items()
+            )
+        print(line)
+        print(f"netpriv telemetry JSON written to {args.telemetry}")
+
+    violations = frontier.monotone_violations(args.tolerance)
+    if violations:
+        print(f"frontier monotonicity: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  {violation}")
+        if args.check_monotone:
+            return 1
+    elif args.check_monotone:
+        print("frontier monotonicity: ok")
+    return 1 if not result.ok else 0
+
+
 def _write_json(path: str, doc: dict) -> None:
     import json
     from pathlib import Path
@@ -771,6 +907,9 @@ def cmd_info(args) -> int:
     from .core import defense_names, knob_mapping_names, niom_attack_names
     from .stream import stream_attack_names
 
+    import repro.netpriv  # noqa: F401 — registers the netpriv knob domain
+
+    netpriv_mappings = knob_mapping_names("netpriv")
     if getattr(args, "json", False):
         import json
 
@@ -779,6 +918,7 @@ def cmd_info(args) -> int:
             "niom_attacks": list(niom_attack_names()),
             "defenses": list(defense_names()),
             "knob_mappings": list(knob_mapping_names()),
+            "netpriv_knob_mappings": list(netpriv_mappings),
             "stream_attacks": stream_attack_names(),
             "solar_attacks": ["sunspot", "weatherman"],
         }
@@ -789,6 +929,8 @@ def cmd_info(args) -> int:
     print(f"defenses:       {', '.join(defense_names())}")
     print(f"knob mappings:  {', '.join(knob_mapping_names())} "
           "(sweepable as name@setting)")
+    print(f"netpriv knobs:  {', '.join(netpriv_mappings)} "
+          "(traffic shapers, sweepable via 'netpriv')")
     print(f"stream attacks: {', '.join(stream_attack_names())} "
           "(online, see 'stream')")
     print("solar attacks:  sunspot, weatherman (see 'localize')")
@@ -803,6 +945,7 @@ COMMANDS = {
     "knob": cmd_knob,
     "fleet": cmd_fleet,
     "sweep": cmd_sweep,
+    "netpriv": cmd_netpriv,
     "stream": cmd_stream,
     "info": cmd_info,
 }

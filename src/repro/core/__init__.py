@@ -14,6 +14,8 @@ from .knob import (
     PrivacyKnob,
     knob_defense,
     knob_defense_name,
+    knob_domains,
+    knob_mapping,
     knob_mapping_names,
     parse_knob_name,
     register_knob_mapping,
@@ -42,6 +44,8 @@ __all__ = [
     "PrivacyKnob",
     "knob_defense",
     "knob_defense_name",
+    "knob_domains",
+    "knob_mapping",
     "knob_mapping_names",
     "parse_knob_name",
     "register_knob_mapping",

@@ -185,36 +185,68 @@ def sweep_knob(
 # ``name@setting`` (see :func:`knob_defense_name` / :func:`parse_knob_name`),
 # which is what lets sweep cells ride the existing fleet cache and pickled
 # job plumbing with no schema changes.
+#
+# Mappings are namespaced by *domain*: ``"energy"`` dials
+# :class:`TraceDefense` instances over metered power (the historical,
+# default namespace), while other subsystems — ``"netpriv"`` dials
+# :class:`~repro.netpriv.shaping.FlowShaper` instances over flow logs —
+# register their own dialable mechanisms without colliding with energy
+# names or leaking non-``TraceDefense`` objects into energy sweeps.
 
-_KNOB_MAPPINGS: dict[str, Callable[[float], TraceDefense]] = {}
+_KNOB_MAPPINGS: dict[str, dict[str, Callable[[float], object]]] = {
+    "energy": {},
+}
 
 
 def register_knob_mapping(
-    name: str, mapping: Callable[[float], TraceDefense]
+    name: str,
+    mapping: Callable[[float], object],
+    domain: str = "energy",
 ) -> None:
-    """Register a ``setting -> defense`` mapping under a defense name."""
-    if name in _KNOB_MAPPINGS:
-        raise RegistryError(f"knob mapping {name!r} already registered")
-    _KNOB_MAPPINGS[name] = mapping
+    """Register a ``setting -> mechanism`` mapping under ``domain``.
+
+    The default domain is ``"energy"`` (mappings produce
+    :class:`TraceDefense`); other domains may produce whatever their
+    sweep engine dials (netpriv registers flow shapers).
+    """
+    table = _KNOB_MAPPINGS.setdefault(domain, {})
+    if name in table:
+        raise RegistryError(
+            f"knob mapping {name!r} already registered in domain {domain!r}"
+        )
+    table[name] = mapping
 
 
-def knob_mapping_names() -> list[str]:
-    return sorted(_KNOB_MAPPINGS)
+def knob_mapping_names(domain: str = "energy") -> list[str]:
+    return sorted(_KNOB_MAPPINGS.get(domain, ()))
+
+
+def knob_domains() -> list[str]:
+    """Every domain with at least one registered mapping."""
+    return sorted(d for d, table in _KNOB_MAPPINGS.items() if table)
+
+
+def knob_mapping(
+    name: str, domain: str = "energy"
+) -> Callable[[float], object]:
+    """Look up one registered mapping (the raw ``setting ->`` callable)."""
+    table = _KNOB_MAPPINGS.get(domain, {})
+    if name not in table:
+        raise RegistryError(
+            f"no knob mapping for {name!r} in domain {domain!r}; "
+            f"available: {sorted(table)}"
+        )
+    return table[name]
 
 
 def knob_defense(name: str, setting: float) -> TraceDefense:
-    """Build the named defense dialed to a knob setting in [0, 1]."""
+    """Build the named energy defense dialed to a knob setting in [0, 1]."""
     setting = float(setting)
     if not 0.0 <= setting <= 1.0:
         raise ValueError(f"knob setting must be in [0, 1], got {setting!r}")
     if setting == 0.0:
         return IdentityDefense()
-    if name not in _KNOB_MAPPINGS:
-        raise RegistryError(
-            f"no knob mapping for defense {name!r}; "
-            f"available: {sorted(_KNOB_MAPPINGS)}"
-        )
-    return _KNOB_MAPPINGS[name](setting)
+    return knob_mapping(name, "energy")(setting)
 
 
 def knob_defense_name(name: str, setting: float) -> str:

@@ -42,6 +42,7 @@ from .engine import (
     HomeFailure,
     HomeResult,
     HomeStreamResult,
+    JobsResult,
     StreamFleetResult,
     result_digest,
     run_fleet,
@@ -51,6 +52,19 @@ from .engine import (
 )
 from .faults import FAULTS_ENV, FaultInjected, FaultPlan
 from .frontier import FrontierPoint, FrontierReport
+from .netpriv import (
+    NETPRIV_LAN_CONFIGS,
+    NetprivFrontierPoint,
+    NetprivFrontierReport,
+    NetprivGrid,
+    NetprivJob,
+    NetprivJobResult,
+    NetprivSweepResult,
+    NetprivSweepRunner,
+    netpriv_lan_config,
+    run_netpriv_job,
+    run_netpriv_sweep,
+)
 from .report import (
     BASELINE,
     DefenseDistribution,
@@ -92,6 +106,18 @@ __all__ = [
     "HomeJob",
     "HomeResult",
     "HomeStreamResult",
+    "JobsResult",
+    "NETPRIV_LAN_CONFIGS",
+    "NetprivFrontierPoint",
+    "NetprivFrontierReport",
+    "NetprivGrid",
+    "NetprivJob",
+    "NetprivJobResult",
+    "NetprivSweepResult",
+    "NetprivSweepRunner",
+    "netpriv_lan_config",
+    "run_netpriv_job",
+    "run_netpriv_sweep",
     "PopulationStats",
     "ResultCache",
     "StreamFleetResult",

@@ -413,6 +413,30 @@ class FleetResult:
         return not self.failures
 
 
+@dataclass(frozen=True)
+class JobsResult:
+    """Generic supervised-run result for :meth:`FleetRunner.run_jobs`.
+
+    ``results`` holds whatever the work function returned, ordered by job
+    order (permanently failed jobs simply absent — they appear in
+    ``failures`` instead).  The energy fleet's :class:`FleetResult` and
+    :class:`StreamFleetResult` predate this type; new job families (e.g.
+    :mod:`repro.fleet.netpriv`) should build on this instead of cloning
+    the supervisor plumbing.
+    """
+
+    results: list
+    elapsed_s: float
+    workers_used: int
+    failures: tuple[HomeFailure, ...] = ()
+    pool_rebuilds: int = 0
+    telemetry: TelemetrySnapshot | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
 @dataclass
 class _JobState:
     """Supervisor-side bookkeeping for one job's attempts."""
@@ -643,6 +667,55 @@ class FleetRunner:
         return StreamFleetResult(
             spec=spec,
             homes=ordered,
+            elapsed_s=time.perf_counter() - start,
+            workers_used=workers_used,
+            failures=tuple(sorted(failures, key=lambda f: f.index)),
+            pool_rebuilds=rebuilds,
+            telemetry=telemetry,
+        )
+
+    def run_jobs(
+        self,
+        jobs: list,
+        work: Callable,
+        on_result: Callable[[object], None] | None = None,
+    ) -> JobsResult:
+        """Run arbitrary picklable jobs under the fleet supervisor.
+
+        The public face of :meth:`_execute` for job families beyond the
+        energy fleet (the netpriv arms-race sweep is the first customer).
+        Jobs must look enough like :class:`~repro.fleet.spec.HomeJob` for
+        the supervisor: an ``index`` field (unique, orders the results),
+        a ``preset``-ish label for failure reports, and ``attempt`` as a
+        ``dataclasses.replace``-able field.  ``work(job)`` must be
+        picklable and return an object with ``index`` and ``telemetry``
+        attributes.  Retries, timeouts, crash recovery, backoff, and
+        telemetry merging behave exactly as in :meth:`run`; there is no
+        result cache.  ``on_result`` (optional) fires as each job
+        completes — a progress hook, called in completion order.
+        """
+        start = time.perf_counter()
+        with self._telemetry_scope() as baseline:
+            results: dict[int, object] = {}
+
+            def store(result) -> None:
+                results[result.index] = result
+                if on_result is not None:
+                    on_result(result)
+
+            failures: list[HomeFailure] = []
+            workers_used = 1
+            rebuilds = 0
+            if jobs:
+                failures, workers_used, rebuilds = self._execute(
+                    jobs, store, work=work
+                )
+            ordered = [
+                results[job.index] for job in jobs if job.index in results
+            ]
+            telemetry = self._collect_telemetry(baseline, ordered)
+        return JobsResult(
+            results=ordered,
             elapsed_s=time.perf_counter() - start,
             workers_used=workers_used,
             failures=tuple(sorted(failures, key=lambda f: f.index)),

@@ -40,11 +40,13 @@ class HomeConfig:
 
     name: str
     appliances: tuple[Appliance, ...]
-    occupancy: OccupancyConfig = OccupancyConfig()
-    meter: MeterConfig = MeterConfig()
+    # default_factory, not default instances: class-level instances would
+    # be shared by every config ever constructed
+    occupancy: OccupancyConfig = field(default_factory=OccupancyConfig)
+    meter: MeterConfig = field(default_factory=MeterConfig)
     base_period_s: float = 60.0
     water_heater: WaterHeaterConfig | None = None
-    draws: DrawConfig = DrawConfig()
+    draws: DrawConfig = field(default_factory=DrawConfig)
 
     def __post_init__(self) -> None:
         if not self.name:

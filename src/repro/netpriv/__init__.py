@@ -1,5 +1,13 @@
 """IoT network privacy (Sec. IV): traffic simulation, attacks, gateway."""
 
+from .adaptive import (
+    ADAPTIVE_FEATURE_NAMES,
+    AdaptiveOccupancyInferrer,
+    ArmsRaceOutcome,
+    AttackerReport,
+    evaluate_arms_race,
+    occupancy_window_features,
+)
 from .devices import PROFILES, Device, DeviceType, TrafficProfile
 from .fingerprint import (
     FEATURE_NAMES,
@@ -8,7 +16,7 @@ from .fingerprint import (
     device_window_features,
     flow_features,
 )
-from .flows import Direction, Flow, FlowLog
+from .flows import Direction, Flow, FlowLog, flow_log_digest
 from .gateway import (
     DeviceBaseline,
     GatewayPolicy,
@@ -17,7 +25,18 @@ from .gateway import (
     Verdict,
 )
 from .lan import LanConfig, LanSimulation, simulate_lan
-from .shaping import ShapingConfig, ShapingReport, TrafficShaper
+from .shaping import (
+    NETPRIV_KNOB_DOMAIN,
+    ConstantRatePadding,
+    FlowMerging,
+    FlowShaper,
+    HeartbeatJitter,
+    IdentityShaper,
+    ShapingConfig,
+    ShapingReport,
+    TrafficShaper,
+    make_shaper,
+)
 from .threats import (
     Compromise,
     CompromiseKind,
@@ -26,6 +45,12 @@ from .threats import (
 )
 
 __all__ = [
+    "ADAPTIVE_FEATURE_NAMES",
+    "AdaptiveOccupancyInferrer",
+    "ArmsRaceOutcome",
+    "AttackerReport",
+    "evaluate_arms_race",
+    "occupancy_window_features",
     "PROFILES",
     "Device",
     "DeviceType",
@@ -38,6 +63,7 @@ __all__ = [
     "Direction",
     "Flow",
     "FlowLog",
+    "flow_log_digest",
     "DeviceBaseline",
     "GatewayPolicy",
     "GatewayReport",
@@ -46,9 +72,16 @@ __all__ = [
     "LanConfig",
     "LanSimulation",
     "simulate_lan",
+    "NETPRIV_KNOB_DOMAIN",
+    "ConstantRatePadding",
+    "FlowMerging",
+    "FlowShaper",
+    "HeartbeatJitter",
+    "IdentityShaper",
     "ShapingConfig",
     "ShapingReport",
     "TrafficShaper",
+    "make_shaper",
     "Compromise",
     "CompromiseKind",
     "inject_compromise",

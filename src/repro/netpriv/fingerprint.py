@@ -70,17 +70,30 @@ def flow_features(log: "FlowLog | list", window_s: float) -> np.ndarray:
 
 
 def windowed_device_flows(
-    log: FlowLog, duration_s: float, window_s: float
+    log: FlowLog,
+    duration_s: float,
+    window_s: float,
+    devices: "list[Device] | list[str] | None" = None,
 ) -> dict[str, list[list]]:
     """Group flows by device and window in one pass: device -> [flows]*n.
 
     A single O(F) sweep instead of per-(device, window) rescans — flow logs
     for a 40-device LAN run to hundreds of thousands of flows.
+
+    ``devices`` (a list of :class:`Device` or of device-id strings) pre-seeds
+    the grouping, so a device with zero in-range flows still gets its full
+    run of empty windows — honouring :func:`flow_features`'s "silence is a
+    pattern" contract instead of silently vanishing from the feature set.
+    Devices present in the log but absent from ``devices`` are kept too.
     """
     if window_s <= 0 or duration_s < window_s:
         raise ValueError("need at least one whole window")
     n_windows = int(duration_s // window_s)
     grouped: dict[str, list[list]] = {}
+    if devices is not None:
+        for device in devices:
+            device_id = device if isinstance(device, str) else device.device_id
+            grouped[device_id] = [[] for _ in range(n_windows)]
     for flow in log:
         w = int(flow.time_s // window_s)
         if not 0 <= w < n_windows:
@@ -95,9 +108,14 @@ def device_window_features(
     log: FlowLog,
     duration_s: float,
     window_s: float = 3600.0,
+    devices: "list[Device] | list[str] | None" = None,
 ) -> dict[str, np.ndarray]:
-    """Per-device feature matrices: device_id -> (n_windows, n_features)."""
-    grouped = windowed_device_flows(log, duration_s, window_s)
+    """Per-device feature matrices: device_id -> (n_windows, n_features).
+
+    Pass ``devices`` to guarantee a row block (of all-zero feature vectors)
+    for devices that never sent an in-range flow.
+    """
+    grouped = windowed_device_flows(log, duration_s, window_s, devices)
     return {
         device_id: np.asarray([flow_features(flows, window_s) for flows in windows])
         for device_id, windows in grouped.items()

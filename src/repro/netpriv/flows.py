@@ -9,6 +9,7 @@ how much, in which direction.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -75,3 +76,32 @@ class FlowLog:
 
     def device_ids(self) -> list[str]:
         return sorted({f.device_id for f in self.flows})
+
+
+def flow_log_digest(log: FlowLog) -> str:
+    """SHA-256 over every flow's full field tuple, in log order.
+
+    The netpriv analogue of :func:`repro.fleet.engine.trace_digest`: two
+    logs share a digest iff they are field-for-field identical, which is
+    what the shaper/attacker determinism tests (and their golden pins)
+    compare.  Floats hash via :func:`repr`, so bit-equal values are
+    required — close is not equal.
+    """
+    h = hashlib.sha256()
+    for f in log:
+        h.update(
+            repr(
+                (
+                    f.time_s,
+                    f.device_id,
+                    f.endpoint,
+                    f.port,
+                    f.direction.value,
+                    f.bytes_up,
+                    f.bytes_down,
+                    f.packets,
+                    f.duration_s,
+                )
+            ).encode()
+        )
+    return h.hexdigest()

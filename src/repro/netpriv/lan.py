@@ -36,7 +36,9 @@ class LanConfig:
             DeviceType.VOICE_ASSISTANT: 2,
         }
     )
-    occupancy: OccupancyConfig = OccupancyConfig()
+    # default_factory, not a default instance: a class-level instance would
+    # be shared by every LanConfig ever constructed
+    occupancy: OccupancyConfig = field(default_factory=OccupancyConfig)
 
     def total_devices(self) -> int:
         return sum(self.device_counts.values())

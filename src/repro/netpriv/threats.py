@@ -134,6 +134,8 @@ def occupancy_from_traffic(
     duration_s: float,
     window_s: float = 1800.0,
     night_prior: bool = True,
+    baseline_quantile: float | None = None,
+    baseline_margin: float = 2.0,
 ) -> BinaryTrace:
     """Passive observer's occupancy inference from flow timing alone.
 
@@ -141,11 +143,30 @@ def occupancy_from_traffic(
     devices per window; windows with activity above the empty-home baseline
     are "occupied".  Works on fully encrypted traffic — only sizes and
     timing are used.
+
+    The empty-home baseline is derived from the *device profiles*: the sum
+    of the event devices' empty-home event rates, scaled to the window and
+    padded by ``baseline_margin``.  This matches the module's threat model
+    (the attacker lab-profiles device models before observing the victim,
+    exactly as :class:`~repro.netpriv.fingerprint.DeviceFingerprinter`
+    assumes) and — unlike a quantile of the observed counts — stays correct
+    for a home that is occupied in most or all windows.  Overnight windows
+    are no refuge for a data-driven baseline either: occupants are *home*
+    at night, so event devices keep firing at occupied rates.
+
+    ``baseline_quantile`` switches to the data-driven alternative: the
+    threshold becomes that quantile of the observed per-window counts
+    (``0.25`` reproduces the historical behaviour, which over-estimated the
+    baseline — and so under-reported occupancy — on mostly-occupied homes).
     """
     if window_s <= 0 or duration_s < window_s:
         raise ValueError("need at least one whole window")
+    if baseline_quantile is not None and not 0.0 <= baseline_quantile <= 1.0:
+        raise ValueError("baseline_quantile must be in [0, 1]")
+    if baseline_margin <= 0:
+        raise ValueError("baseline_margin must be positive")
     event_devices = {
-        d.device_id
+        d.device_id: d
         for d in devices
         if d.profile.event_rate_per_occupied_hour
         > 2.0 * max(d.profile.event_rate_per_empty_hour, 0.05)
@@ -163,7 +184,15 @@ def occupancy_from_traffic(
         w = int(flow.time_s // window_s)
         if 0 <= w < n_windows:
             counts[w] += 1
-    threshold = max(1.0, float(np.quantile(counts, 0.25)))
+    if baseline_quantile is not None:
+        threshold = max(1.0, float(np.quantile(counts, baseline_quantile)))
+    else:
+        empty_rate_per_hour = sum(
+            d.profile.event_rate_per_empty_hour for d in event_devices.values()
+        )
+        threshold = max(
+            1.0, baseline_margin * empty_rate_per_hour * window_s / SECONDS_PER_HOUR
+        )
     occupied = (counts > threshold).astype(int)
     if night_prior:
         hours = (np.arange(n_windows) * window_s % 86400.0) / SECONDS_PER_HOUR

@@ -12,7 +12,7 @@ sites in Fig. 5 while Weatherman stays accurate.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -60,7 +60,7 @@ class SolarSite:
 
     site_id: str
     location: LatLon
-    array: PVArrayConfig = PVArrayConfig()
+    array: PVArrayConfig = field(default_factory=PVArrayConfig)
 
 
 def _panel_normal(tilt_deg: float, azimuth_deg: float) -> np.ndarray:
