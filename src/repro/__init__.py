@@ -18,6 +18,8 @@ Safeguarding User Privacy in the IoT Era":
   privacy knob;
 - :mod:`repro.fleet` — parallel multi-home fleet simulation with result
   caching and population-level attack/defense reports;
+- :mod:`repro.claims` — declarative privacy claims evaluated against
+  sweep/netpriv/stream artifacts into certification reports;
 - :mod:`repro.ml` / :mod:`repro.timeseries` — the from-scratch ML and
   time-series substrates everything rests on;
 - :mod:`repro.datasets` — seeded datasets for every figure.
@@ -33,10 +35,11 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import attacks, core, datasets, defenses, fleet, home, metrics, ml, netpriv, solar, timeseries
+from . import attacks, claims, core, datasets, defenses, fleet, home, metrics, ml, netpriv, solar, timeseries
 
 __all__ = [
     "attacks",
+    "claims",
     "core",
     "datasets",
     "defenses",

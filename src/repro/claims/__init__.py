@@ -1,0 +1,51 @@
+"""Privacy claims: declarative verdicts over sweep artifacts.
+
+This package turns measurement artifacts into certifications.  A claim
+file (TOML/JSON, see :func:`repro.core.claims.load_claims`) states what
+an acceptable configuration looks like — "worst-case MCC across every
+registered attacker stays <= 0.3 once the dial passes 0.5", "p90
+billing error stays under 1%", "the dial is monotone within tolerance
+0.05" — and :func:`evaluate_claims` checks those statements against any
+mix of ``repro sweep``, ``repro netpriv``, and ``repro stream`` JSON
+artifacts (loaded via :mod:`repro.fleet.artifacts`), producing a
+:class:`ClaimsReport` with per-claim verdicts, two-way coverage, and
+Markdown/JSON certification output.  The ``repro claims`` CLI is a thin
+shell over this package; ``docs/CLAIMS.md`` is the operator guide.
+"""
+
+from repro.core.claims import (
+    Claim,
+    ClaimSet,
+    ClaimsError,
+    Selector,
+    Span,
+    load_claims,
+)
+from repro.claims.engine import evaluate_claim, evaluate_claims
+from repro.claims.report import (
+    EXIT_FAIL,
+    EXIT_INCONCLUSIVE,
+    EXIT_OK,
+    EXIT_USAGE,
+    CellCoverage,
+    ClaimVerdict,
+    ClaimsReport,
+)
+
+__all__ = [
+    "Claim",
+    "ClaimSet",
+    "ClaimsError",
+    "Selector",
+    "Span",
+    "load_claims",
+    "evaluate_claim",
+    "evaluate_claims",
+    "CellCoverage",
+    "ClaimVerdict",
+    "ClaimsReport",
+    "EXIT_FAIL",
+    "EXIT_INCONCLUSIVE",
+    "EXIT_OK",
+    "EXIT_USAGE",
+]

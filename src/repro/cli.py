@@ -12,6 +12,8 @@ Exposes the library's main workflows without writing Python:
   and export the privacy-utility frontier (Fig. 6 at population scale);
 * ``stream`` — replay a trace (or fleet) as a live chunked feed through
   the online attack registry, reporting results and throughput;
+* ``claims`` — evaluate a TOML/JSON privacy-claims file against
+  sweep/netpriv/stream JSON artifacts into a certification report;
 * ``info`` — list registered attacks, defenses, and home presets
   (``--json`` for machine-readable registries).
 """
@@ -268,6 +270,26 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", default=None, metavar="PATH",
                    help="collect stage.stream.* timers and stream.samples "
                    "counters and write the snapshot JSON")
+
+    p = sub.add_parser(
+        "claims",
+        help="evaluate a privacy-claims file against sweep artifacts",
+        description="Load declarative privacy claims (TOML/JSON) and check "
+        "them against repro sweep / netpriv / stream JSON "
+        "artifacts, producing per-claim verdicts, coverage, and "
+        "a certification report. Exit codes: 0 all pass, 1 any "
+        "fail, 2 bad input, 3 inconclusive (untested claims).",
+    )
+    p.add_argument("--claims", required=True,
+                   help="claim file (.toml or .json); see docs/CLAIMS.md")
+    p.add_argument("--artifact", action="append", default=[], metavar="PATH",
+                   help="artifact JSON to evaluate against (repeatable); "
+                   "kind is sniffed from the file shape")
+    p.add_argument("--md", help="write the certification report as Markdown")
+    p.add_argument("--json", help="write the certification report as JSON")
+    p.add_argument("--strict-coverage", action="store_true",
+                   help="also fail (exit 3) when some artifact cell is "
+                   "constrained by no claim")
 
     p = sub.add_parser("info", help="list registered attacks, defenses, presets")
     p.add_argument("--json", action="store_true",
@@ -903,6 +925,46 @@ def _stream_fleet(args, attacks, attack_kwargs, guard_policy) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_claims(args) -> int:
+    from .claims import ClaimsError, evaluate_claims, load_claims
+    from .fleet import ArtifactError, load_artifact
+
+    if not args.artifact:
+        print("claims: need at least one --artifact PATH", file=sys.stderr)
+        return 2
+    try:
+        claim_set = load_claims(args.claims)
+        artifacts = [load_artifact(path) for path in args.artifact]
+    except (ClaimsError, ArtifactError) as exc:
+        print(f"claims: {exc}", file=sys.stderr)
+        return 2
+
+    report = evaluate_claims(claim_set, artifacts)
+    for art in report.artifacts:
+        print(f"evidence: {art['source']} ({art['kind']}, "
+              f"{art['cells']} cell(s))")
+    print(report.format_table())
+    if report.uncovered_claims:
+        print("uncovered claims (no cell exercised them): "
+              + ", ".join(report.uncovered_claims))
+    if report.uncovered_cells:
+        print(f"uncovered cells (no claim constrains them): "
+              f"{len(report.uncovered_cells)}")
+
+    if args.md:
+        report.to_markdown(args.md)
+        print(f"certification Markdown written to {args.md}")
+    if args.json:
+        report.to_json(args.json)
+        print(f"certification JSON written to {args.json}")
+
+    code = report.exit_code
+    if code == 0 and args.strict_coverage and report.uncovered_cells:
+        print("strict coverage: some cells are constrained by no claim")
+        return 3
+    return code
+
+
 def cmd_info(args) -> int:
     from .core import defense_names, knob_mapping_names, niom_attack_names
     from .stream import stream_attack_names
@@ -947,6 +1009,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "netpriv": cmd_netpriv,
     "stream": cmd_stream,
+    "claims": cmd_claims,
     "info": cmd_info,
 }
 

@@ -34,6 +34,15 @@ Quickstart::
     print(FleetReport.from_result(result).format_table())
 """
 
+from .artifacts import (
+    Artifact,
+    ArtifactError,
+    ArtifactRow,
+    artifact_from_frontier,
+    artifact_from_netpriv,
+    artifact_from_stream,
+    load_artifact,
+)
 from .cache import CACHE_FORMAT_VERSION, CacheStats, ResultCache, job_cache_key
 from .engine import (
     FLEET_DETECTORS,
@@ -86,6 +95,13 @@ from .sweep import (
 )
 
 __all__ = [
+    "Artifact",
+    "ArtifactError",
+    "ArtifactRow",
+    "artifact_from_frontier",
+    "artifact_from_netpriv",
+    "artifact_from_stream",
+    "load_artifact",
     "BASELINE",
     "CACHE_FORMAT_VERSION",
     "CacheStats",

@@ -1,11 +1,24 @@
 #!/usr/bin/env python
-"""Offline docstring lint for the repro package.
+"""Offline docstring and docs-consistency lint for the repro package.
 
-Walks ``src/repro/`` with :mod:`ast` (no imports, no third-party deps) and
-fails if any public module or public class is missing a docstring.  Public
-means the module/class name (and every package segment on its path) does
-not start with an underscore — the ``_reference`` modules, for example,
-are internal and exempt, though in practice they are documented too.
+Two passes, both pure :mod:`ast`/text — no imports, no third-party deps:
+
+1. **Docstrings** — walks ``src/repro/`` and fails if any public module
+   or public class is missing a docstring.  Public means the
+   module/class name (and every package segment on its path) does not
+   start with an underscore — the ``_reference`` modules, for example,
+   are internal and exempt, though in practice they are documented too.
+2. **Docs consistency** — the documentation may not drift from the
+   code:
+
+   * every ``repro`` CLI subcommand (read from the ``add_parser`` calls
+     in ``src/repro/cli.py``) must be mentioned in README.md or a file
+     under ``docs/``;
+   * every knob-mapping domain (read from ``register_knob_mapping``
+     call sites, resolving module-level string constants) must be
+     mentioned there too;
+   * every relative intra-repo link in the top-level ``*.md`` files and
+     ``docs/*.md`` must resolve to an existing file.
 
 Run from the repository root (CI does)::
 
@@ -18,10 +31,12 @@ otherwise.
 from __future__ import annotations
 
 import ast
+import re
 import sys
 from pathlib import Path
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
 
 
 def _is_public_module(path: Path) -> bool:
@@ -48,6 +63,125 @@ def check_file(path: Path) -> list[str]:
     return problems
 
 
+# ----------------------------------------------------------------------
+# Docs-consistency pass
+# ----------------------------------------------------------------------
+
+def cli_subcommands() -> list[tuple[str, int]]:
+    """(name, line) of every ``sub.add_parser("<name>", ...)`` in cli.py."""
+    tree = ast.parse((SRC / "cli.py").read_text(), filename="cli.py")
+    found = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_parser"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            found.append((node.args[0].value, node.lineno))
+    return found
+
+
+def knob_domains() -> list[tuple[str, Path, int]]:
+    """(domain, file, line) for every ``register_knob_mapping`` call site.
+
+    The ``domain`` argument may be a string literal, a module-level
+    string constant (``NETPRIV_KNOB_DOMAIN = "netpriv"``), or absent —
+    the registry's default domain is ``"energy"``.
+    """
+    sites: list[tuple[str, Path, int]] = []
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text()
+        if "register_knob_mapping" not in text:
+            continue
+        tree = ast.parse(text, filename=str(path))
+        constants: dict[str, str] = {
+            target.id: node.value.value
+            for node in tree.body
+            if isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+            for target in node.targets
+            if isinstance(target, ast.Name)
+        }
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and (
+                    (isinstance(node.func, ast.Name)
+                     and node.func.id == "register_knob_mapping")
+                    or (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "register_knob_mapping")
+                )
+            ):
+                continue
+            domain_node = None
+            for kw in node.keywords:
+                if kw.arg == "domain":
+                    domain_node = kw.value
+            if domain_node is None and len(node.args) >= 3:
+                domain_node = node.args[2]
+            if domain_node is None:
+                domain = "energy"
+            elif isinstance(domain_node, ast.Constant) and isinstance(
+                domain_node.value, str
+            ):
+                domain = domain_node.value
+            elif isinstance(domain_node, ast.Name) and domain_node.id in constants:
+                domain = constants[domain_node.id]
+            else:
+                continue  # dynamic domain — nothing checkable offline
+            sites.append((domain, path, node.lineno))
+    return sites
+
+
+def doc_files() -> list[Path]:
+    return sorted(ROOT.glob("*.md")) + sorted((ROOT / "docs").glob("*.md"))
+
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_docs_consistency() -> list[str]:
+    problems: list[str] = []
+    docs = doc_files()
+    corpus = "\n".join(p.read_text() for p in docs)
+
+    for name, line in cli_subcommands():
+        if name not in corpus:
+            problems.append(
+                f"{SRC / 'cli.py'}:{line}: CLI subcommand {name!r} is not "
+                "mentioned in README.md or docs/"
+            )
+    seen: set[str] = set()
+    for domain, path, line in knob_domains():
+        if domain in seen:
+            continue
+        seen.add(domain)
+        if domain not in corpus:
+            problems.append(
+                f"{path}:{line}: knob domain {domain!r} is not mentioned "
+                "in README.md or docs/"
+            )
+
+    for doc in docs:
+        for i, text_line in enumerate(doc.read_text().splitlines(), start=1):
+            for target in _LINK.findall(text_line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                if not (doc.parent / rel).exists():
+                    problems.append(
+                        f"{doc}:{i}: broken link {target!r} "
+                        f"({doc.parent / rel} does not exist)"
+                    )
+    return problems
+
+
 def main() -> int:
     if not SRC.is_dir():
         print(f"source tree not found: {SRC}", file=sys.stderr)
@@ -56,11 +190,18 @@ def main() -> int:
     problems: list[str] = []
     for path in files:
         problems.extend(check_file(path))
+    problems.extend(check_docs_consistency())
     if problems:
         print("\n".join(problems))
-        print(f"\n{len(problems)} docstring problem(s) in {len(files)} files")
+        print(f"\n{len(problems)} lint problem(s) in {len(files)} files")
         return 1
-    print(f"docstring lint: {len(files)} public modules clean")
+    n_docs = len(doc_files())
+    print(
+        f"docstring lint: {len(files)} public modules clean; "
+        f"docs consistency: {len(cli_subcommands())} subcommands, "
+        f"{len({d for d, _, _ in knob_domains()})} knob domains, "
+        f"{n_docs} doc files clean"
+    )
     return 0
 
 
