@@ -81,6 +81,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (<=1 runs serially in-process)")
+    p.add_argument("--backend", default="process",
+                   choices=["serial", "process", "shmem", "batched"],
+                   help="executor backend: serial (in-process), process "
+                   "(per-job pickling pool), shmem (traces travel as "
+                   "shared-memory segments), batched (one worker simulates "
+                   "a block of homes per vectorized pass); all four are "
+                   "bit-identical")
     p.add_argument("--chunksize", type=int, default=1,
                    help="kept for compatibility; the supervised engine "
                    "dispatches per-home so each home fails independently")
@@ -143,6 +150,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    "(round-robin partition; shards share work via --cache-dir)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes per cell (<=1 runs serially)")
+    p.add_argument("--backend", default="process",
+                   choices=["serial", "process", "shmem", "batched"],
+                   help="executor backend for every cell's fleet run "
+                   "(see 'fleet --help'; a grid file's backend key wins)")
     p.add_argument("--cache-dir", default=None,
                    help="fleet result cache shared across cells, shards, and "
                    "re-runs; a killed sweep resumes from what finished")
@@ -194,6 +205,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="run only cells I-1::N of the canonical cell order")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (<=1 runs serially)")
+    p.add_argument("--backend", default="process",
+                   choices=["serial", "process", "shmem"],
+                   help="executor backend (netpriv jobs carry no trace "
+                   "payload, so shmem behaves like process; batched only "
+                   "applies to energy fleets)")
     p.add_argument("--max-retries", type=int, default=2)
     p.add_argument("--job-timeout", type=float, default=None,
                    help="per-LAN wall-clock timeout (needs --workers > 1)")
@@ -435,6 +451,7 @@ def cmd_fleet(args) -> int:
         fail_fast=args.fail_fast,
         telemetry=args.telemetry is not None,
         profile_dir=args.profile,
+        backend=args.backend,
     )
 
     def print_failures():
@@ -525,6 +542,7 @@ def cmd_sweep(args) -> int:
                 mix=tuple(
                     name.strip() for name in args.mix.split(",") if name.strip()
                 ),
+                backend=args.backend,
             )
         else:
             raise SweepError("need --grid FILE or --defenses (see 'info' for names)")
@@ -541,6 +559,7 @@ def cmd_sweep(args) -> int:
         fail_fast=args.fail_fast,
         telemetry=args.telemetry is not None,
         profile_dir=args.profile,
+        backend=args.backend,
     )
 
     def on_cell(cell_result) -> None:
@@ -642,6 +661,7 @@ def cmd_netpriv(args) -> int:
         job_timeout=args.job_timeout,
         fail_fast=args.fail_fast,
         telemetry=args.telemetry is not None,
+        backend=args.backend,
     )
 
     def on_result(job_result) -> None:

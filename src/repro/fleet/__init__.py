@@ -14,6 +14,10 @@ turns the single-home pipeline into a population instrument:
 - :class:`FleetReport` — per-defense population distributions
   (mean/median/p10/p90 of worst-case MCC, utility, energy cost) plus
   the sweep's :class:`HomeFailure` records;
+- :mod:`repro.fleet.backends` — pluggable executor backends
+  (``--backend serial|process|shmem|batched``): shared-memory trace
+  passing and across-home batched simulation, every backend pinned
+  bit-identical to the others by the backend-parity test matrix;
 - :mod:`repro.fleet.faults` — deterministic fault injection (worker
   errors, crashes, hangs) so the recovery paths above are *tested*, not
   trusted;
@@ -42,6 +46,22 @@ from .artifacts import (
     artifact_from_netpriv,
     artifact_from_stream,
     load_artifact,
+)
+from .backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    HomeBlockJob,
+    HomeBlockResult,
+    InlinePayload,
+    ShmemPayload,
+    materialize_trace,
+    new_run_prefix,
+    pack_trace,
+    partition_blocks,
+    resolve_backend,
+    run_home_block,
+    segment_name,
+    sweep_segments,
 )
 from .cache import CACHE_FORMAT_VERSION, CacheStats, ResultCache, job_cache_key
 from .engine import (
@@ -96,6 +116,20 @@ from .sweep import (
 
 __all__ = [
     "Artifact",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "HomeBlockJob",
+    "HomeBlockResult",
+    "InlinePayload",
+    "ShmemPayload",
+    "materialize_trace",
+    "new_run_prefix",
+    "pack_trace",
+    "partition_blocks",
+    "resolve_backend",
+    "run_home_block",
+    "segment_name",
+    "sweep_segments",
     "ArtifactError",
     "ArtifactRow",
     "artifact_from_frontier",

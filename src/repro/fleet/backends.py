@@ -1,0 +1,382 @@
+"""Pluggable executor backends for the fleet supervisor.
+
+The supervisor in :mod:`repro.fleet.engine` is deliberately agnostic
+about *how* a job's bytes move and *how much* work one dispatch carries;
+this module owns those two axes:
+
+``serial``
+    Force the in-process loop even when ``workers > 1`` — no pool, no
+    pickling, no crash/hang guard (retries only).
+``process``
+    The default: one :class:`~concurrent.futures.ProcessPoolExecutor`
+    job per home, results pickled back through the pool's result pipe.
+    With ``keep_traces`` the metered :class:`~repro.timeseries.PowerTrace`
+    rides along as an explicit pickled :class:`InlinePayload`.
+``shmem``
+    Same per-home pool dispatch, but the worker writes the metered trace
+    into a named ``multiprocessing.shared_memory`` block and ships only a
+    :class:`ShmemPayload` descriptor; the supervisor attaches, copies
+    out, verifies the trace digest, and unlinks.  Segment names are a
+    pure function of ``(run prefix, home index, attempt)``, so after the
+    run the supervisor can sweep every candidate name and unlink
+    anything a crashed or killed worker left behind
+    (:func:`sweep_segments` — the leak detector).
+``batched``
+    One pool job simulates a whole *block* of homes in a single
+    vectorized numpy pass (:func:`repro.home.batch.simulate_home_block`),
+    amortizing dispatch/pickling overhead across the block.  Supervision
+    (retry/timeout/crash/quarantine) applies at block granularity.
+
+Every backend produces bit-identical per-home results — the
+backend-parity test matrix pins home-for-home ``trace_digest`` equality
+and byte-identical cache entries across all four.
+
+Telemetry names introduced here: ``fleet.backend.<name>``,
+``payload.pack`` / ``payload.recv`` timers, ``payload.bytes``,
+``shmem.segments_created`` / ``shmem.bytes_shared`` /
+``shmem.leaked_segments``, and ``batch.passes`` /
+``batch.homes_per_pass`` counters.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import uuid
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from ..obs import TELEMETRY
+from ..timeseries import PowerTrace
+from .spec import HomeJob
+
+#: the executor-backend axis, in CLI order
+BACKENDS = ("serial", "process", "shmem", "batched")
+DEFAULT_BACKEND = "process"
+
+#: how a worker ships a metered trace back to the supervisor
+PAYLOAD_CHANNELS = ("none", "direct", "inline", "shmem")
+
+
+def resolve_backend(name: str) -> str:
+    """Validate and normalize a backend name."""
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {list(BACKENDS)}"
+        )
+    return name
+
+
+# ----------------------------------------------------------------------
+# Payload channels
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InlinePayload:
+    """A trace pickled to explicit bytes, riding the result pipe."""
+
+    data: bytes
+
+
+@dataclass(frozen=True)
+class ShmemPayload:
+    """Descriptor of a trace parked in a named shared-memory segment.
+
+    Only this (tiny) descriptor crosses the result pipe; the samples stay
+    in the segment until the supervisor materializes and unlinks it.
+    ``digest`` is the worker-side trace digest, re-checked after the copy
+    so a torn or tampered segment can never be mistaken for a result.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    period_s: float
+    start_s: float
+    unit: str
+    digest: str
+    nbytes: int
+
+
+def new_run_prefix() -> str:
+    """A per-run segment-name prefix, unique across concurrent runs."""
+    return f"rf{os.getpid():x}x{uuid.uuid4().hex[:6]}"
+
+
+def segment_name(prefix: str, index: int, attempt: int) -> str:
+    """Deterministic segment name for one (home, attempt) cell.
+
+    Determinism is what makes leak *detection* possible: the supervisor
+    can enumerate every name any attempt could have used and sweep them,
+    without globbing ``/dev/shm`` (which other processes share).
+    """
+    return f"{prefix}-{index}-a{attempt}"
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Detach a just-created segment from the resource tracker.
+
+    ``SharedMemory(create=True)`` registers the name with the
+    ``resource_tracker``, which unlinks leftovers when the registering
+    process tree exits.  Our segments are owned by the *supervisor's*
+    teardown sweep, not by whichever pool worker happened to create them
+    — so the creating side unregisters immediately, and the consuming
+    side re-registers just before ``unlink()`` (:func:`_track`), whose
+    own unconditional unregister then balances the books.  Every
+    register is matched by exactly one unregister under both fork
+    (shared tracker process) and spawn (per-process trackers).
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001 — tracker API is version-dependent
+        pass
+
+
+def _track(shm: shared_memory.SharedMemory) -> None:
+    """Re-register an attached segment so ``unlink()`` can unregister it."""
+    try:
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001 — tracker API is version-dependent
+        pass
+
+
+def pack_trace(
+    trace: PowerTrace, channel: str, *, name: str | None = None
+) -> InlinePayload | ShmemPayload:
+    """Pack a metered trace for the given payload channel (worker side)."""
+    if channel == "inline":
+        with TELEMETRY.timer("payload.pack"):
+            data = pickle.dumps(trace, protocol=pickle.HIGHEST_PROTOCOL)
+        TELEMETRY.count("payload.bytes", len(data))
+        return InlinePayload(data=data)
+    if channel == "shmem":
+        if not name:
+            raise ValueError("shmem channel needs a segment name")
+        from .engine import trace_digest  # function-level: engine imports us
+
+        values = np.ascontiguousarray(trace.values)
+        with TELEMETRY.timer("payload.pack"):
+            shm = _create_segment(name, values.nbytes)
+            try:
+                np.ndarray(
+                    values.shape, dtype=values.dtype, buffer=shm.buf
+                )[:] = values
+            finally:
+                shm.close()
+        TELEMETRY.count("shmem.segments_created")
+        TELEMETRY.count("shmem.bytes_shared", values.nbytes)
+        TELEMETRY.count("payload.bytes", values.nbytes)
+        return ShmemPayload(
+            name=name,
+            shape=tuple(values.shape),
+            dtype=str(values.dtype),
+            period_s=trace.period_s,
+            start_s=trace.start_s,
+            unit=trace.unit,
+            digest=trace_digest(trace),
+            nbytes=values.nbytes,
+        )
+    raise ValueError(f"cannot pack for channel {channel!r}")
+
+
+def _create_segment(name: str, nbytes: int) -> shared_memory.SharedMemory:
+    """Create a named segment, reclaiming a stale one of the same name.
+
+    A name collision is possible when a pool died *after* an attempt
+    packed its segment but *before* its result was delivered: the
+    supervisor requeues such crash victims uncharged, so the retry runs
+    under the same attempt number.  The stale segment's content is dead
+    (its result never arrived), so unlink-and-recreate is safe.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+    except FileExistsError:
+        stale = shared_memory.SharedMemory(name=name)
+        _track(stale)
+        stale.close()
+        stale.unlink()
+        shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+    _untrack(shm)
+    return shm
+
+
+def materialize_trace(payload: InlinePayload | ShmemPayload) -> PowerTrace:
+    """Reconstruct a metered trace from its payload (supervisor side).
+
+    Shared-memory payloads are unlinked here — materializing a segment
+    consumes it.  The caller is expected to verify the trace digest
+    (:meth:`ShmemPayload.digest`) against the result's recorded digest.
+    """
+    if isinstance(payload, InlinePayload):
+        with TELEMETRY.timer("payload.recv"):
+            trace = pickle.loads(payload.data)
+        if not isinstance(trace, PowerTrace):
+            raise TypeError(f"inline payload held {type(trace).__name__}")
+        return trace
+    if isinstance(payload, ShmemPayload):
+        with TELEMETRY.timer("payload.recv"):
+            shm = shared_memory.SharedMemory(name=payload.name)
+            _track(shm)
+            try:
+                values = np.array(
+                    np.ndarray(
+                        payload.shape, dtype=payload.dtype, buffer=shm.buf
+                    )
+                )
+            finally:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    _untrack(shm)
+        return PowerTrace(
+            values, payload.period_s, payload.start_s, unit=payload.unit
+        )
+    raise TypeError(f"not a payload: {type(payload).__name__}")
+
+
+def sweep_segments(
+    prefix: str, indices: Sequence[int], max_retries: int
+) -> int:
+    """Unlink every segment a run could have leaked; returns the count.
+
+    Runs on supervisor teardown.  A segment survives a run only when a
+    worker was killed (crash, hang teardown, SIGKILL) between packing and
+    result delivery — the sweep enumerates every candidate
+    ``(index, attempt)`` name and reclaims the stragglers, so a chaotic
+    run can never leak ``/dev/shm`` space.
+    """
+    leaked = 0
+    for index in indices:
+        for attempt in range(max_retries + 1):
+            name = segment_name(prefix, index, attempt)
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            _track(shm)
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                _untrack(shm)
+                continue
+            leaked += 1
+    return leaked
+
+
+# ----------------------------------------------------------------------
+# Batched (across-home) dispatch
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HomeBlockJob:
+    """A block of home jobs simulated by one worker dispatch.
+
+    ``index`` is the first member's home index and ``preset`` a readable
+    span label — the supervisor's failure bookkeeping sees blocks, and
+    the engine expands any block-level failure back into per-home
+    :class:`~repro.fleet.engine.HomeFailure` records.
+    """
+
+    index: int
+    preset: str
+    jobs: tuple[HomeJob, ...]
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class HomeBlockResult:
+    """One executed block: per-home results plus the block's telemetry."""
+
+    index: int
+    results: tuple
+    telemetry: object | None = None
+
+
+def partition_blocks(
+    jobs: Sequence[HomeJob], block_size: int
+) -> list[HomeBlockJob]:
+    """Chop a job list into order-preserving blocks of ``block_size``."""
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    blocks = []
+    for start in range(0, len(jobs), block_size):
+        members = tuple(jobs[start : start + block_size])
+        blocks.append(
+            HomeBlockJob(
+                index=members[0].index,
+                preset=(
+                    f"homes[{members[0].index}..{members[-1].index}]"
+                    if len(members) > 1
+                    else members[0].preset
+                ),
+                jobs=members,
+            )
+        )
+    return blocks
+
+
+def run_home_block(block: HomeBlockJob) -> HomeBlockResult:
+    """Simulate, defend, and attack a block of homes.  Runs inside workers.
+
+    The block is the supervision unit: fault injection still fires per
+    *home* index (so chaos plans target the same homes on every backend),
+    but an injected error fails the whole block's attempt, and retries
+    re-run the whole block — bit-identically, because every home keeps
+    its own spawned seed streams.
+    """
+    from ..core.pipeline import evaluate_simulation
+    from ..home.batch import simulate_home_block
+    from .engine import FLEET_DETECTORS, HomeResult, trace_digest
+    from .faults import maybe_inject
+
+    for job in block.jobs:
+        maybe_inject(job.index, block.attempt)
+    days = {job.days for job in block.jobs}
+    if len(days) != 1:
+        raise ValueError("a home block must share one simulated duration")
+    before = TELEMETRY.snapshot() if TELEMETRY.enabled else None
+    results = []
+    with TELEMETRY.timer("stage.block"):
+        with TELEMETRY.timer("stage.simulate"):
+            sims = simulate_home_block(
+                [job.config for job in block.jobs],
+                days.pop(),
+                [np.random.default_rng(job.sim_seed) for job in block.jobs],
+            )
+        TELEMETRY.count("batch.passes")
+        TELEMETRY.count("batch.homes_per_pass", len(block.jobs))
+        for job, sim in zip(block.jobs, sims):
+            detectors = tuple(
+                (name, FLEET_DETECTORS[name]) for name in job.detectors
+            )
+            with TELEMETRY.timer("stage.job"):
+                pipeline = evaluate_simulation(
+                    sim,
+                    list(job.defenses),
+                    np.random.default_rng(job.defense_seed),
+                    detectors,
+                )
+            results.append(
+                HomeResult(
+                    index=job.index,
+                    preset=job.preset,
+                    home_name=job.config.name,
+                    fingerprint=job.fingerprint,
+                    days=job.days,
+                    trace_digest=trace_digest(sim.metered),
+                    energy_kwh=sim.metered.energy_kwh(),
+                    baseline=pipeline.baseline,
+                    defenses=pipeline.defenses,
+                    metered=sim.metered if job.payload == "direct" else None,
+                )
+            )
+    snapshot = None
+    if before is not None:
+        snapshot = TELEMETRY.snapshot().minus(before)
+        TELEMETRY.restore(before)
+    return HomeBlockResult(
+        index=block.index, results=tuple(results), telemetry=snapshot
+    )

@@ -16,12 +16,15 @@ later run would trust.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
+
+import sys
 
 import numpy as np
 
@@ -34,7 +37,9 @@ from .spec import HomeJob
 #: *what* they loaded, not just that it unpickled.
 #: v3: HomeResult grew a telemetry field (always stored as None so cache
 #: bytes are identical whether or not telemetry was collected).
-CACHE_FORMAT_VERSION = 3
+#: v4: HomeResult grew metered/payload trace-channel fields (both always
+#: stored as None so cache bytes are identical under every backend).
+CACHE_FORMAT_VERSION = 4
 
 
 def _seed_state(seq: np.random.SeedSequence) -> list:
@@ -63,6 +68,52 @@ def job_cache_key(job: HomeJob) -> str:
         separators=(",", ":"),
     )
     return hashlib.sha256(doc.encode()).hexdigest()
+
+
+def _canonical(obj, memo: dict):
+    """Rebuild an object graph with by-value sharing, for stable pickles.
+
+    Pickle memoizes by *identity*: two equal strings are written once if
+    they are the same object, twice if not.  Which equal objects share
+    identity depends on the execution path that produced the result — a
+    serial run's :class:`~repro.fleet.engine.HomeResult` shares string
+    objects with its job, while a pool worker's result was restructured
+    by the pipe round-trip.  Rebuilding the graph with equal immutables
+    deduplicated (in deterministic field/insertion order) makes the
+    cache entry's bytes a pure function of its *values*, so every
+    executor backend writes the identical entry — a property the
+    backend-parity tests pin byte for byte.
+    """
+    if obj is None or isinstance(obj, (bool, int, float)):
+        return obj
+    if isinstance(obj, (str, bytes)):
+        # intern plain strings: pickle also emits the *attribute-name*
+        # keys of dataclass ``__dict__`` state, which are interned — a
+        # value string equal to a field name must be the same object on
+        # every path or the memo-reference structure diverges
+        if type(obj) is str:
+            obj = sys.intern(obj)
+        return memo.setdefault((type(obj), obj), obj)
+    if isinstance(obj, tuple):
+        rebuilt = tuple(_canonical(v, memo) for v in obj)
+        try:
+            return memo.setdefault((tuple, rebuilt), rebuilt)
+        except TypeError:  # unhashable member — sharing can't matter
+            return rebuilt
+    if isinstance(obj, list):
+        return [_canonical(v, memo) for v in obj]
+    if isinstance(obj, dict):
+        return {
+            _canonical(k, memo): _canonical(v, memo) for k, v in obj.items()
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return type(obj)(
+            **{
+                f.name: _canonical(getattr(obj, f.name), memo)
+                for f in dataclasses.fields(obj)
+            }
+        )
+    return obj
 
 
 @dataclass
@@ -164,7 +215,12 @@ class ResultCache:
         with TELEMETRY.timer("cache.write"):
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-            envelope = {"format": CACHE_FORMAT_VERSION, "result": value}
+            # canonical copy: entry bytes depend only on values, never on
+            # which execution path (backend, pipe, retry) built the graph
+            envelope = {
+                "format": CACHE_FORMAT_VERSION,
+                "result": _canonical(value, {}),
+            }
             with tmp.open("wb") as handle:
                 pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)

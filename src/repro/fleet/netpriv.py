@@ -497,7 +497,17 @@ class NetprivSweepRunner:
         job_timeout: float | None = None,
         fail_fast: bool = False,
         telemetry: bool = False,
+        backend: str | None = None,
     ) -> None:
+        # netpriv jobs return scalar tables, not traces, so there is no
+        # payload for shmem to carry — serial/process/shmem are accepted
+        # (and behave identically beyond serial's forced in-process loop)
+        # while batched has no block work function here and is refused.
+        if backend == "batched":
+            raise ValueError(
+                "the batched backend only applies to batch energy fleets; "
+                "netpriv sweeps accept serial/process/shmem"
+            )
         self.runner = FleetRunner(
             workers=workers,
             cache_dir=None,
@@ -505,6 +515,7 @@ class NetprivSweepRunner:
             job_timeout=job_timeout,
             fail_fast=fail_fast,
             telemetry=telemetry,
+            **({} if backend is None else {"backend": backend}),
         )
 
     def run(

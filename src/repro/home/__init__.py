@@ -22,8 +22,15 @@ from .appliances import (
     TimeOfDayAffinity,
     UsagePattern,
 )
+from .batch import observe_block, simulate_home_block
 from .fingerprint import config_fingerprint, fingerprint
-from .household import WATER_HEATER_NAME, HomeConfig, HomeSimulation, simulate_home
+from .household import (
+    WATER_HEATER_NAME,
+    HomeConfig,
+    HomeSimulation,
+    simulate_ground_truth,
+    simulate_home,
+)
 from .meter import MeterConfig, NetMeter, SmartMeter
 from .occupancy import OccupancyConfig, OccupantProfile, simulate_occupancy
 from .presets import (
@@ -65,7 +72,10 @@ __all__ = [
     "WATER_HEATER_NAME",
     "HomeConfig",
     "HomeSimulation",
+    "observe_block",
+    "simulate_ground_truth",
     "simulate_home",
+    "simulate_home_block",
     "MeterConfig",
     "NetMeter",
     "SmartMeter",

@@ -1,0 +1,127 @@
+"""Across-home batched simulation: one numpy pass meters a block of homes.
+
+PR 4 vectorized *within* a home (kernels over one trace); this module
+vectorizes *across* homes so a fleet worker can simulate a block of homes
+per dispatch instead of one.  The contract is the same as every kernel in
+:mod:`repro.ml.kernels`: the batched path must be **bitwise identical** to
+the per-home reference — here :func:`repro.home.household.simulate_home`
+and :meth:`repro.home.meter.SmartMeter.observe` — and an equivalence test
+pins that claim.
+
+What can and cannot be batched without breaking bit-identity:
+
+* Ground truth (occupancy, appliances, water heater) consumes each home's
+  private RNG stream sequentially, so it stays a per-home loop in
+  reference order (:func:`~repro.home.household.simulate_ground_truth`).
+* Metering noise is also an RNG draw, so each home calls
+  ``rng.normal(0, std, n)`` exactly as the reference does; dropout homes
+  additionally keep the reference LOCF loop.
+* Quantization and clipping are deterministic *elementwise* IEEE-754
+  arithmetic, so they run once over a stacked ``(homes, samples)`` array:
+  ``round(V / q) * q`` and ``maximum(V, 0)`` produce the same bits per
+  element whether the operand is one row or a stack of rows.
+
+The fleet's ``--backend batched`` executor
+(:mod:`repro.fleet.backends`) rides this to amortize per-job dispatch
+overhead: one pool submission simulates a whole block of homes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..timeseries import PowerTrace
+from .household import HomeConfig, HomeSimulation, simulate_ground_truth
+from .meter import MeterConfig
+
+
+def observe_block(
+    traces: Sequence[PowerTrace],
+    configs: Sequence[MeterConfig],
+    rngs: Sequence[np.random.Generator],
+) -> list[PowerTrace]:
+    """Meter many true-power traces in one stacked pass.
+
+    Bitwise-identical to calling ``SmartMeter(cfg).observe(trace, rng)``
+    per home (the pinned reference): resampling, noise, and dropout run
+    per home with that home's own RNG in reference order; quantization
+    and clipping run stacked across every home of equal metered length.
+    """
+    if not len(traces) == len(configs) == len(rngs):
+        raise ValueError("traces, configs, and rngs must align")
+    # per-home stage: everything that touches a home's private RNG stream
+    rows: list[tuple[PowerTrace, MeterConfig, np.ndarray]] = []
+    for trace, cfg, rng in zip(traces, configs, rngs):
+        resampled = trace
+        if cfg.period_s > trace.period_s:
+            resampled = trace.resample(cfg.period_s, reducer="mean")
+        elif cfg.period_s < trace.period_s:
+            raise ValueError(
+                "meter period finer than simulation period; simulate finer"
+            )
+        values = resampled.values.copy()
+        if cfg.noise_std_w > 0:
+            values += rng.normal(0.0, cfg.noise_std_w, len(values))
+        if cfg.dropout_probability > 0:
+            dropped = rng.uniform(size=len(values)) < cfg.dropout_probability
+            for i in np.flatnonzero(dropped):
+                if i > 0:
+                    values[i] = values[i - 1]
+        rows.append((resampled, cfg, values))
+
+    # stacked stage: deterministic elementwise arithmetic across homes.
+    # Group by (length, quantum) so one stack shares one scalar quantum.
+    out: list[PowerTrace | None] = [None] * len(rows)
+    groups: dict[tuple[int, float], list[int]] = {}
+    for i, (resampled, cfg, values) in enumerate(rows):
+        groups.setdefault((len(values), cfg.quantum_w), []).append(i)
+    for (_, quantum), members in groups.items():
+        stack = np.stack([rows[i][2] for i in members])
+        if quantum > 0:
+            stack = np.round(stack / quantum) * quantum
+        stack = np.maximum(stack, 0.0)
+        for row, i in zip(stack, members):
+            out[i] = rows[i][0].with_values(row)
+    return [trace for trace in out if trace is not None]
+
+
+def simulate_home_block(
+    configs: Sequence[HomeConfig],
+    n_days: int,
+    rngs: Sequence[np.random.Generator],
+) -> list[HomeSimulation]:
+    """Simulate a block of homes; bitwise-equal to per-home ``simulate_home``.
+
+    Each home keeps its own RNG stream (``rngs[i]``) and consumes it in
+    exactly the reference order; only the meter's deterministic arithmetic
+    is batched across the block (:func:`observe_block`).
+    """
+    if n_days < 1:
+        raise ValueError("n_days must be >= 1")
+    if len(configs) != len(rngs):
+        raise ValueError("configs and rngs must align")
+    rngs = [np.random.default_rng(rng) for rng in rngs]
+    ground = [
+        simulate_ground_truth(config, n_days, rng)
+        for config, rng in zip(configs, rngs)
+    ]
+    metered = observe_block(
+        [total for _, _, _, total in ground],
+        [config.meter for config in configs],
+        rngs,
+    )
+    return [
+        HomeSimulation(
+            config=config,
+            occupancy=occupancy,
+            appliance_traces=traces,
+            total=total,
+            metered=seen,
+            hot_water_draws=draws,
+        )
+        for config, (occupancy, traces, draws, total), seen in zip(
+            configs, ground, metered
+        )
+    ]

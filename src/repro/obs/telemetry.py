@@ -21,6 +21,26 @@ changing any result.  This module provides that substrate:
 Process boundary: enablement crosses into workers through the
 :data:`TELEMETRY_ENV` environment variable (inherited under both fork
 and spawn), exactly like the fault-injection layer's plan.
+
+Names are free-form, but the fleet's established vocabulary is:
+
+* ``stage.*`` timers — ``stage.spec`` (job construction),
+  ``stage.job`` / ``stage.simulate`` (per home), ``stage.block``
+  (one batched dispatch), ``stage.stream.job``;
+* ``cache.*`` — ``cache.read`` / ``cache.write`` timers plus
+  hit/miss/store/corrupt/stale counters;
+* ``fleet.*`` — supervisor counters (``fleet.retry``,
+  ``fleet.pool_rebuild``, ``fleet.attempt_failed.<kind>``,
+  ``fleet.permanent_failure``, ``fleet.backoff_wait_s``,
+  ``fleet.jobs_built``) and ``fleet.backend.<name>`` marking which
+  executor backend ran the sweep;
+* ``payload.*`` — trace-channel cost (:mod:`repro.fleet.backends`):
+  ``payload.pack`` / ``payload.recv`` timers and ``payload.bytes``;
+* ``shmem.*`` — ``shmem.segments_created``, ``shmem.bytes_shared``,
+  and ``shmem.leaked_segments`` (teardown sweep reclaims — zero on a
+  clean run);
+* ``batch.*`` — ``batch.passes`` and ``batch.homes_per_pass`` for the
+  across-home batched backend.
 """
 
 from __future__ import annotations

@@ -29,24 +29,17 @@ from repro.fleet import (
 )
 from repro.fleet.spec import _home_seed
 from repro.home import config_fingerprint, home_a, home_b
+from tests.conftest import FLEET_SPEC as SPEC
 
 # the CI fast job overrides the non-serial worker count to exercise
 # pickling under different pool widths
 _EXTRA_WORKERS = int(os.environ.get("REPRO_FLEET_WORKERS", "2"))
 WORKER_COUNTS = sorted({1, _EXTRA_WORKERS})
 
-SPEC = FleetSpec(
-    n_homes=5,
-    days=1,
-    seed=123,
-    mix=("random", "home-a"),
-    defenses=("dp-laplace", "smoothing"),
-)
-
 
 @pytest.fixture(scope="module")
-def serial_result():
-    return run_fleet(SPEC, workers=1)
+def serial_result(fleet_serial_result):
+    return fleet_serial_result
 
 
 class TestSeeding:
@@ -130,6 +123,27 @@ class TestDeterminism:
         job = SPEC.job(0)
         clone = pickle.loads(pickle.dumps(job))
         assert run_home_job(clone).trace_digest == serial_result.homes[0].trace_digest
+
+    @pytest.mark.parametrize("backend", ["serial", "shmem", "batched"])
+    def test_bitwise_identical_across_backends(self, serial_result, backend):
+        """The executor-backend parity pin for the determinism fleet.
+
+        Each backend runs with a pool *and* telemetry enabled, so one
+        assertion covers both backend-invariance and telemetry-
+        invariance of every home digest and scored number.  (The
+        ``process`` backend is the workers matrix above.)
+        """
+        result = run_fleet(
+            SPEC, workers=_EXTRA_WORKERS, backend=backend, telemetry=True
+        )
+        assert result.ok
+        assert [h.trace_digest for h in result.homes] == [
+            h.trace_digest for h in serial_result.homes
+        ]
+        assert FleetReport.from_result(result).comparable(
+            FleetReport.from_result(serial_result)
+        )
+        assert result.telemetry.counters.get(f"fleet.backend.{backend}") == 1
 
 
 class TestCache:

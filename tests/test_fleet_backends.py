@@ -1,0 +1,275 @@
+"""Unit tests for the executor-backend layer (:mod:`repro.fleet.backends`).
+
+The end-to-end parity matrix lives in ``test_fleet_golden.py`` /
+``test_fleet.py``; this module pins the layer's *parts* in isolation:
+
+* payload channels round-trip a metered trace bitwise (inline pickle and
+  shared-memory segment alike), and the supervisor's integrity check
+  refuses a trace whose digest disagrees with the result that shipped it;
+* segment names are a pure function of ``(run prefix, home index,
+  attempt)`` — the property the teardown leak sweep enumerates;
+* :func:`sweep_segments` actually reclaims an orphan and is idempotent;
+* block partitioning preserves order and labels spans readably;
+* the across-home batched simulation is bitwise-equal to the per-home
+  reference, including homes with metering dropout;
+* validation errors fire early, at construction time.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    FleetRunner,
+    FleetSpec,
+    InlinePayload,
+    ShmemPayload,
+    materialize_trace,
+    new_run_prefix,
+    pack_trace,
+    partition_blocks,
+    resolve_backend,
+    run_fleet,
+    run_home_job,
+    segment_name,
+    sweep_segments,
+)
+from repro.fleet.backends import _create_segment
+from repro.fleet.engine import trace_digest
+from repro.home import home_a, simulate_home
+from repro.home.batch import simulate_home_block
+from tests.conftest import FLEET_SPEC as SPEC
+
+
+@pytest.fixture()
+def metered_trace():
+    """A real metered trace (noise + quantization), ~8640 samples."""
+    return simulate_home(home_a(), 1, np.random.default_rng(3)).metered
+
+
+class TestBackendAxis:
+    def test_axis_is_pinned(self):
+        assert BACKENDS == ("serial", "process", "shmem", "batched")
+        assert DEFAULT_BACKEND == "process"
+
+    def test_resolve_accepts_every_backend(self):
+        for name in BACKENDS:
+            assert resolve_backend(name) == name
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("thread")
+
+    def test_spec_validates_backend(self):
+        assert FleetSpec(n_homes=1, backend="shmem").backend == "shmem"
+        with pytest.raises(ValueError, match="unknown backend"):
+            FleetSpec(n_homes=1, backend="bogus")
+
+    def test_runner_validates_backend_and_batch_size(self):
+        assert FleetRunner(backend="batched", batch_size=8).batch_size == 8
+        with pytest.raises(ValueError, match="unknown backend"):
+            FleetRunner(backend="bogus")
+        with pytest.raises(ValueError, match="batch_size"):
+            FleetRunner(batch_size=0)
+
+    def test_spec_backend_overrides_runner_default(self):
+        runner = FleetRunner(workers=1, backend="process", telemetry=True)
+        result = runner.run(replace(SPEC, n_homes=2, backend="serial"))
+        assert result.telemetry.counters.get("fleet.backend.serial") == 1
+
+    def test_streaming_and_jobs_reject_batched(self):
+        with pytest.raises(ValueError, match="batched backend"):
+            FleetRunner(backend="batched").run_streaming(
+                replace(SPEC, n_homes=1)
+            )
+        with pytest.raises(ValueError, match="batched backend"):
+            FleetRunner(backend="batched").run_jobs([], run_home_job)
+
+
+class TestPayloadChannels:
+    def test_inline_round_trip_is_bitwise(self, metered_trace):
+        payload = pack_trace(metered_trace, "inline")
+        assert isinstance(payload, InlinePayload)
+        back = materialize_trace(payload)
+        assert trace_digest(back) == trace_digest(metered_trace)
+        np.testing.assert_array_equal(back.values, metered_trace.values)
+
+    def test_shmem_round_trip_is_bitwise_and_consumes(self, metered_trace):
+        name = segment_name(new_run_prefix(), 0, 0)
+        payload = pack_trace(metered_trace, "shmem", name=name)
+        assert isinstance(payload, ShmemPayload)
+        assert payload.digest == trace_digest(metered_trace)
+        assert payload.nbytes == metered_trace.values.nbytes
+        back = materialize_trace(payload)
+        assert trace_digest(back) == trace_digest(metered_trace)
+        assert back.period_s == metered_trace.period_s
+        assert back.unit == metered_trace.unit
+        # materializing unlinked the segment — a second read must fail
+        with pytest.raises(FileNotFoundError):
+            materialize_trace(payload)
+
+    def test_shmem_pack_needs_a_name(self, metered_trace):
+        with pytest.raises(ValueError, match="segment name"):
+            pack_trace(metered_trace, "shmem")
+
+    def test_unknown_channel_rejected(self, metered_trace):
+        with pytest.raises(ValueError, match="channel"):
+            pack_trace(metered_trace, "carrier-pigeon")
+
+    def test_inline_payload_of_wrong_type_rejected(self):
+        import pickle
+
+        bogus = InlinePayload(data=pickle.dumps("not a trace"))
+        with pytest.raises(TypeError, match="inline payload held"):
+            materialize_trace(bogus)
+
+    def test_supervisor_rejects_digest_mismatch(self, metered_trace):
+        """`_receive` must refuse a trace that doesn't match its result."""
+        job = replace(SPEC.job(1), payload="none")
+        result = run_home_job(job)
+        payload = pack_trace(
+            metered_trace, "shmem", name=segment_name(new_run_prefix(), 1, 0)
+        )
+        # metered_trace belongs to a different home than result — digest
+        # cannot match, exactly as if the segment had been corrupted
+        poisoned = replace(result, payload=payload)
+        runner = FleetRunner(keep_traces=True)
+        with pytest.raises(RuntimeError, match="trace_digest"):
+            runner._receive(poisoned)
+
+
+class TestSegmentLifecycle:
+    def test_names_are_deterministic_and_distinct(self):
+        prefix = new_run_prefix()
+        assert segment_name(prefix, 3, 1) == f"{prefix}-3-a1"
+        names = {
+            segment_name(prefix, i, a) for i in range(4) for a in range(3)
+        }
+        assert len(names) == 12
+
+    def test_run_prefixes_embed_pid_and_differ(self):
+        import os
+
+        a, b = new_run_prefix(), new_run_prefix()
+        assert a != b
+        assert a.startswith(f"rf{os.getpid():x}x")
+
+    def test_create_reclaims_stale_segment(self):
+        name = segment_name(new_run_prefix(), 0, 0)
+        first = _create_segment(name, 64)
+        first.buf[:2] = b"xx"
+        first.close()
+        # same (index, attempt) retried after an uncharged crash requeue
+        second = _create_segment(name, 64)
+        try:
+            assert bytes(second.buf[:2]) == b"\x00\x00"  # fresh, not stale
+        finally:
+            second.close()
+            second.unlink()
+
+    def test_sweep_reclaims_orphan_once(self):
+        prefix = new_run_prefix()
+        orphan = _create_segment(segment_name(prefix, 2, 1), 128)
+        orphan.close()
+        assert sweep_segments(prefix, indices=range(4), max_retries=2) == 1
+        # really gone, and the sweep is idempotent
+        import multiprocessing.shared_memory as sm
+
+        with pytest.raises(FileNotFoundError):
+            sm.SharedMemory(name=segment_name(prefix, 2, 1))
+        assert sweep_segments(prefix, indices=range(4), max_retries=2) == 0
+
+    def test_clean_run_leaks_nothing(self):
+        result = run_fleet(
+            replace(SPEC, n_homes=3), workers=2, backend="shmem",
+            telemetry=True,
+        )
+        assert result.ok
+        assert not result.telemetry.counters.get("shmem.leaked_segments")
+        assert result.telemetry.counters["shmem.segments_created"] == 3
+
+
+class TestBlockPartitioning:
+    def test_blocks_preserve_order_and_label_spans(self):
+        jobs = SPEC.jobs()
+        blocks = partition_blocks(jobs, 2)
+        assert [b.index for b in blocks] == [0, 2, 4]
+        assert [len(b.jobs) for b in blocks] == [2, 2, 1]
+        assert blocks[0].preset == "homes[0..1]"
+        assert blocks[-1].preset == jobs[4].preset  # singleton keeps its own
+        assert [j.index for b in blocks for j in b.jobs] == [0, 1, 2, 3, 4]
+
+    def test_block_size_validated(self):
+        with pytest.raises(ValueError, match="block_size"):
+            partition_blocks(SPEC.jobs(), 0)
+
+    def test_default_block_size_spreads_over_workers(self):
+        assert FleetRunner(workers=4)._block_size(100) == 25
+        assert FleetRunner(workers=1)._block_size(100) == 64  # capped
+        assert FleetRunner(workers=2)._block_size(3) == 2
+        assert FleetRunner(workers=2, batch_size=7)._block_size(100) == 7
+
+
+class TestBatchedEquivalence:
+    def test_block_simulation_matches_reference_bitwise(self):
+        configs = [SPEC.job(i).config for i in range(3)]
+        seeds = [SPEC.job(i).sim_seed for i in range(3)]
+        block = simulate_home_block(
+            configs, 1, [np.random.default_rng(s) for s in seeds]
+        )
+        for config, seed, sim in zip(configs, seeds, block):
+            reference = simulate_home(config, 1, np.random.default_rng(seed))
+            np.testing.assert_array_equal(
+                sim.metered.values, reference.metered.values
+            )
+            np.testing.assert_array_equal(sim.total.values, reference.total.values)
+
+    def test_block_simulation_matches_with_dropout(self):
+        """Dropout (LOCF loop) is the trickiest meter path — pin it too."""
+        config = home_a()
+        config = replace(
+            config, meter=replace(config.meter, dropout_probability=0.05)
+        )
+        [sim] = simulate_home_block(
+            [config], 1, [np.random.default_rng(11)]
+        )
+        reference = simulate_home(config, 1, np.random.default_rng(11))
+        np.testing.assert_array_equal(
+            sim.metered.values, reference.metered.values
+        )
+
+    def test_mixed_quanta_grouping_is_bitwise(self):
+        """Homes with different meter quanta stack separately but exactly."""
+        coarse = home_a()
+        coarse = replace(coarse, meter=replace(coarse.meter, quantum_w=5.0))
+        configs = [home_a(), coarse, home_a()]
+        sims = simulate_home_block(
+            configs, 1, [np.random.default_rng(s) for s in (1, 2, 3)]
+        )
+        for config, seed, sim in zip(configs, (1, 2, 3), sims):
+            reference = simulate_home(config, 1, np.random.default_rng(seed))
+            np.testing.assert_array_equal(
+                sim.metered.values, reference.metered.values
+            )
+
+
+class TestKeepTraces:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_metered_attached_and_payload_stripped(self, backend):
+        spec = replace(SPEC, n_homes=2)
+        result = run_fleet(
+            spec, workers=2, backend=backend, keep_traces=True
+        )
+        assert result.ok
+        for home in result.homes:
+            assert home.payload is None
+            assert trace_digest(home.metered) == home.trace_digest
+
+    def test_traces_dropped_by_default(self):
+        result = run_fleet(replace(SPEC, n_homes=2), workers=2,
+                           backend="shmem")
+        assert all(h.metered is None for h in result.homes)
+        assert all(h.payload is None for h in result.homes)

@@ -15,13 +15,17 @@ injection (:mod:`repro.fleet.faults`) rather than trusted on faith:
 * corrupt cache entries (torn bytes, wrong type, stale envelope) read as
   misses, never as results;
 * results stream into the cache as they complete, so a failed sweep
-  resumes from what finished.
+  resumes from what finished;
+* every recovery path above holds unchanged on the shared-memory
+  backend, and no run — not even one whose workers were SIGKILLed —
+  leaves a shared-memory segment behind.
 
 The CI chaos canary re-runs this file with 2 workers.
 """
 
 import json
 import os
+import pathlib
 import pickle
 
 import pytest
@@ -38,18 +42,9 @@ from repro.fleet import (
     job_cache_key,
     run_fleet,
 )
+from repro.fleet.engine import trace_digest
 from repro.fleet.faults import active_plan
-
-# small-but-real fleet: one defense, one detector keeps each job ~25ms so
-# the chaos paths (which re-run jobs) stay fast
-SPEC = FleetSpec(
-    n_homes=4,
-    days=1,
-    seed=9,
-    mix=("random", "home-a"),
-    defenses=("nill",),
-    detectors=("threshold-15m",),
-)
+from tests.conftest import CHAOS_SPEC as SPEC
 
 POOL_WORKERS = max(2, int(os.environ.get("REPRO_FLEET_WORKERS", "2")))
 
@@ -57,11 +52,21 @@ FAST = {"retry_backoff_s": 0.01}
 
 
 @pytest.fixture(scope="module")
-def clean_digests():
+def clean_digests(chaos_clean_digests):
     """Ground truth: per-home digests from an uninjected serial run."""
-    result = run_fleet(SPEC, workers=1)
-    assert not result.failures
-    return {h.index: h.trace_digest for h in result.homes}
+    return chaos_clean_digests
+
+
+def shmem_orphans():
+    """Segments created by this supervisor still visible in /dev/shm.
+
+    The run prefix embeds the supervisor pid (``rf<pid:x>x...``), so this
+    only sees segments our own fleet runs created — parallel test
+    processes can't pollute the check.
+    """
+    return sorted(
+        p.name for p in pathlib.Path("/dev/shm").glob(f"rf{os.getpid():x}x*")
+    )
 
 
 def surviving_digests(result):
@@ -197,7 +202,7 @@ class TestTimeouts:
         # timeout is generous vs the ~25ms healthy job so slow CI boxes
         # never time out an innocent, yet tiny vs the 120s injected hang
         result = run_fleet(
-            SPEC, workers=POOL_WORKERS, job_timeout=3.0, max_retries=1,
+            SPEC, workers=POOL_WORKERS, job_timeout=2.0, max_retries=1,
             faults=FaultPlan(kind="hang", indices=(2,), hang_s=120.0),
             **FAST,
         )
@@ -211,7 +216,7 @@ class TestTimeouts:
 
     def test_transient_hang_recovers_on_retry(self, clean_digests):
         result = run_fleet(
-            SPEC, workers=POOL_WORKERS, job_timeout=3.0,
+            SPEC, workers=POOL_WORKERS, job_timeout=2.0,
             faults=FaultPlan(
                 kind="hang", indices=(2,), max_attempt=0, hang_s=120.0
             ),
@@ -220,6 +225,60 @@ class TestTimeouts:
         assert not result.failures
         assert result.pool_rebuilds >= 1
         assert surviving_digests(result) == clean_digests
+
+
+class TestShmemChaos:
+    """PR-2 recovery semantics must survive the shared-memory backend.
+
+    Same fault plans as the process-backend classes above, but with
+    traces travelling through named shared-memory segments — plus the
+    backend-specific claim that *no segment outlives the run*, even when
+    the worker holding it was SIGKILLed mid-job.
+    """
+
+    def test_poison_pill_fails_alone_no_leak(self, clean_digests):
+        result = run_fleet(
+            SPEC, workers=POOL_WORKERS, backend="shmem", keep_traces=True,
+            faults=FaultPlan(kind="error", indices=(2,)), **FAST,
+        )
+        assert [f.index for f in result.failures] == [2]
+        assert result.failures[0].kind == "error"
+        assert result.failures[0].attempts == 3
+        assert surviving_digests(result) == {
+            i: d for i, d in clean_digests.items() if i != 2
+        }
+        # survivors really travelled via shmem and landed intact
+        assert all(
+            trace_digest(h.metered) == h.trace_digest for h in result.homes
+        )
+        assert shmem_orphans() == []
+
+    def test_crash_recovery_unchanged_no_leak(self, clean_digests):
+        result = run_fleet(
+            SPEC, workers=POOL_WORKERS, backend="shmem",
+            faults=FaultPlan(kind="crash", indices=(0,), max_attempt=0),
+            **FAST,
+        )
+        assert not result.failures
+        assert result.pool_rebuilds >= 1
+        assert surviving_digests(result) == clean_digests
+        # the SIGKILLed attempt may have created a segment it could never
+        # hand over; the supervisor's teardown sweep must have reaped it
+        assert shmem_orphans() == []
+
+    def test_hung_job_timeout_unchanged_no_leak(self, clean_digests):
+        result = run_fleet(
+            SPEC, workers=POOL_WORKERS, backend="shmem", job_timeout=2.0,
+            max_retries=1,
+            faults=FaultPlan(kind="hang", indices=(2,), hang_s=120.0),
+            **FAST,
+        )
+        assert [f.index for f in result.failures] == [2]
+        assert result.failures[0].kind == "timeout"
+        assert surviving_digests(result) == {
+            i: d for i, d in clean_digests.items() if i != 2
+        }
+        assert shmem_orphans() == []
 
 
 class TestCacheRobustness:

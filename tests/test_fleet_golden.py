@@ -18,7 +18,9 @@ to be stable across platforms and supported interpreter versions.
 
 from dataclasses import replace
 
-from repro.fleet import FleetSpec, result_digest, run_fleet
+import pytest
+
+from repro.fleet import BACKENDS, FleetSpec, result_digest, run_fleet
 
 #: the pinned presets: one uses the dialed-defense (``name@setting``)
 #: path so the knob mapping layer is inside the pinned surface
@@ -40,14 +42,67 @@ GOLDEN = {
 }
 
 
-class TestGoldenDigests:
-    def test_home_a_preset_digest(self):
-        spec, expected = GOLDEN["home-a"]
-        assert result_digest(run_fleet(spec)) == expected
+@pytest.fixture(scope="module")
+def golden_run():
+    """Memoized ``(preset, backend)`` fleet runs for the parity matrix."""
+    cache = {}
 
-    def test_fig2_preset_digest(self):
-        spec, expected = GOLDEN["fig2"]
-        assert result_digest(run_fleet(spec)) == expected
+    def get(preset, backend):
+        if (preset, backend) not in cache:
+            spec, _ = GOLDEN[preset]
+            workers = 1 if backend == "serial" else 2
+            cache[(preset, backend)] = run_fleet(
+                spec, workers=workers, backend=backend
+            )
+        return cache[(preset, backend)]
+
+    return get
+
+
+class TestGoldenDigests:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("preset", sorted(GOLDEN))
+    def test_preset_digest_on_every_backend(self, golden_run, preset, backend):
+        """The backend-parity matrix: 4 backends x 2 pinned presets.
+
+        One pinned constant per preset — not per (preset, backend) — is
+        the whole point: every executor backend must reproduce the
+        reference pipeline bit for bit.
+        """
+        _, expected = GOLDEN[preset]
+        assert result_digest(golden_run(preset, backend)) == expected
+
+    @pytest.mark.parametrize("preset", sorted(GOLDEN))
+    def test_backends_agree_home_for_home(self, golden_run, preset):
+        reference = golden_run(preset, "process")
+        for backend in BACKENDS:
+            result = golden_run(preset, backend)
+            assert [h.trace_digest for h in result.homes] == [
+                h.trace_digest for h in reference.homes
+            ], backend
+
+    def test_cache_entries_are_backend_invariant(self, tmp_path):
+        """Byte-identical cache entries no matter which backend wrote them.
+
+        ``keep_traces=True`` makes this a strong claim: even when the
+        metered traces physically travel (inline pickle, shared-memory
+        segment), the cache strips the channel before the bytes land.
+        """
+        spec, _ = GOLDEN["home-a"]
+        entries = {}
+        for backend in BACKENDS:
+            cache_dir = tmp_path / backend
+            run_fleet(
+                spec, workers=2, backend=backend,
+                cache_dir=cache_dir, keep_traces=True,
+            )
+            entries[backend] = {
+                p.relative_to(cache_dir): p.read_bytes()
+                for p in sorted(cache_dir.glob("*/*.pkl"))
+            }
+        assert len(entries["process"]) == spec.n_homes
+        for backend in BACKENDS:
+            assert entries[backend] == entries["process"], backend
 
     def test_digest_ignores_runtime_facts(self, tmp_path):
         """Cache-replayed and fresh runs of one spec share a digest."""
